@@ -1,0 +1,63 @@
+"""Extension benchmarks: churn robustness and the §VII privacy mechanisms."""
+
+import pytest
+
+from benchmarks.conftest import run_and_emit
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_churn(benchmark, scale):
+    report = run_and_emit(benchmark, "ext-churn", scale)
+    rows = report.data["rows"]  # (label, kills, P, R, F1)
+    by_label = {r[0]: r for r in rows}
+    base_f1 = by_label["no churn"][4]
+    mild = by_label["1%/cycle, rejoin=5"][4]
+    # gossip absorbs mild churn with little quality loss
+    assert mild > 0.8 * base_f1
+    # permanent crashes hurt more than crash+rejoin at the same rate
+    rejoining = by_label["3%/cycle, rejoin=5"][4]
+    permanent = by_label["3%/cycle, rejoin=never"][4]
+    assert permanent <= rejoining + 0.03
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_privacy(benchmark, scale):
+    report = run_and_emit(benchmark, "ext-privacy", scale)
+    rows = report.data["rows"]  # (label, P, R, F1, bw multiplier)
+    by_label = {r[0]: r for r in rows}
+    base = by_label["no privacy"]
+
+    # obfuscation: graceful, monotone-ish degradation with the noise level
+    light = by_label["obfuscation flip=0.05 suppress=0.1"][3]
+    heavy = by_label["obfuscation flip=0.3 suppress=0.5"][3]
+    assert light > 0.85 * base[3]
+    assert heavy <= light + 0.02
+
+    # onion routing: recommendation quality unchanged, bandwidth multiplied
+    onion = by_label["onion routing, 2 relays"]
+    assert abs(onion[3] - base[3]) < 0.03
+    assert onion[4] > 2.5
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_latency(benchmark, scale):
+    report = run_and_emit(benchmark, "ext-latency", scale)
+    rows = {r[0]: r for r in report.data["rows"]}
+    # (label, mean, median, p90, t-to-90%, F1)
+    # liked news reaches its readers within a handful of cycles
+    assert rows["whatsup"][1] < 8
+    # heterogeneous slow links stretch latency but barely dent quality
+    assert rows["whatsup (slow links)"][1] > rows["whatsup"][1]
+    assert rows["whatsup (slow links)"][5] > 0.85 * rows["whatsup"][5]
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_ext_drift_window_tradeoff(benchmark, scale):
+    report = run_and_emit(benchmark, "ext-drift", scale)
+    rows = report.data["rows"]  # (label, P, R, F1)
+    f1s = [r[3] for r in rows]
+    # §IV-D's claim materialises under drift: an interior window optimum —
+    # the best mid window beats both the shortest and the longest
+    best_mid = max(f1s[1:4])
+    assert best_mid > f1s[0]
+    assert best_mid >= f1s[-1]

@@ -1,0 +1,30 @@
+"""Figure 11: F1-Score vs user sociability.
+
+Paper claims: "The more sociable a node the more it is exposed only to
+relevant content (improving both recall and precision).  This acts as an
+incentive."
+
+Reproduction target: a strong positive relationship between a user's
+sociability (mean similarity to her 15 nearest alter egos) and her
+personal F1.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_emit
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_sociability(benchmark, scale):
+    report = run_and_emit(benchmark, "fig11", scale)
+    f1 = np.asarray(report.data["f1"], dtype=float)
+    frac = np.asarray(report.data["fraction"])
+
+    populated = frac > 0
+    assert populated.sum() >= 3
+    # strong positive sociability/F1 relationship
+    assert report.data["correlation"] > 0.5
+    # the most sociable bin clearly beats the least sociable one
+    values = f1[populated]
+    assert values[-1] > values[0]

@@ -1,0 +1,50 @@
+"""Figure 3: F1-Score vs fanout and vs message cost, on all three workloads.
+
+Paper panels (a-f): CF-WUP, CF-Cos, WHATSUP, WHATSUP-Cos swept over the
+like fanout on synthetic / Digg / survey, plotted against fanout and
+against messages/cycle/node.
+
+Reproduction targets per workload:
+
+* every curve rises with fanout and then flattens (the LSCC plateau);
+* the WUP-metric systems dominate or match their cosine twins, most
+  clearly at small fanouts (cosine needs a larger fanout for the same F1);
+* WHATSUP reaches its plateau at a lower fanout than CF (amplification).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_emit
+
+
+def _check_common_shape(report):
+    f1 = report.data["f1_vs_fanout"]
+    fanouts = report.data["fanouts"]
+    for system, series in f1.items():
+        assert len(series) == len(fanouts)
+        # rising-then-flat: the max is not at the smallest fanout, and the
+        # first half of the sweep gains more than the second half loses
+        assert max(series) > series[0]
+    # the WUP metric at least matches cosine at the smallest fanouts
+    small = slice(0, max(2, len(fanouts) // 2))
+    assert np.mean(f1["whatsup"][small]) >= np.mean(f1["whatsup-cos"][small]) - 0.02
+    assert np.mean(f1["cf-wup"][small]) >= np.mean(f1["cf-cos"][small]) - 0.02
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_survey(benchmark, scale):
+    report = run_and_emit(benchmark, "fig3-survey", scale)
+    _check_common_shape(report)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_synthetic(benchmark, scale):
+    report = run_and_emit(benchmark, "fig3-synthetic", scale)
+    _check_common_shape(report)
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_digg(benchmark, scale):
+    report = run_and_emit(benchmark, "fig3-digg", scale)
+    _check_common_shape(report)

@@ -1,0 +1,27 @@
+"""Figure 5: impact of the BEEP dislike TTL.
+
+Paper claims: "Too low a TTL mostly impacts recall; yet values of TTL over
+4 do not improve the quality of dissemination."
+
+Reproduction targets: recall (and F1) gain from enabling the dislike path
+(TTL 0 → small TTL); the curve saturates — large TTLs buy nothing.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_emit
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_ttl_saturation(benchmark, scale):
+    report = run_and_emit(benchmark, "fig5", scale)
+    ttls = list(report.data["ttls"])
+    recall = report.data["recall"]
+    f1 = report.data["f1"]
+
+    # enabling the dislike path buys recall
+    assert recall[ttls.index(4)] > recall[ttls.index(0)]
+    # saturation: going 4 -> 8 changes F1 by less than the 0 -> 4 gain
+    gain_enable = abs(f1[ttls.index(4)] - f1[ttls.index(0)])
+    gain_beyond = abs(f1[ttls.index(8)] - f1[ttls.index(4)])
+    assert gain_beyond <= gain_enable + 0.02

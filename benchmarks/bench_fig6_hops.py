@@ -1,0 +1,33 @@
+"""Figure 6: dissemination actions by hop distance (fLIKE = 5).
+
+Paper claims: a bell-shaped histogram — "most dissemination actions are
+carried out within a few hops of the source, with an average around 5" —
+plus "a non-negligible number of infections being due to dislike
+operations".
+
+Reproduction targets: the bell shape (rise then decay), a single-digit
+mean hop distance, and a visible dislike-infection series.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_emit
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_hop_histogram(benchmark, scale):
+    report = run_and_emit(benchmark, "fig6", scale)
+    inf_like = np.asarray(report.data["infections_by_like"])
+    inf_dislike = np.asarray(report.data["infections_by_dislike"])
+    mean_hops = report.data["mean_hops"]
+
+    total = inf_like + inf_dislike
+    peak = int(total.argmax())
+    # bell: the peak is past hop 0 and the tail decays
+    assert 1 <= peak <= 8
+    assert total[-1] < total[peak]
+    # news travels only a few hops on average
+    assert 1.5 <= mean_hops <= 9.0
+    # the dislike path causes a non-negligible share of infections
+    assert inf_dislike.sum() > 0.03 * total.sum()

@@ -1,0 +1,41 @@
+"""Figure 7: cold start and interest dynamics.
+
+Paper claims (survey, profile window ≈ 40 cycles):
+
+* a node joining with interests identical to a reference converges to an
+  equally good WUP view in ~20 cycles under the WUP metric, >100 under
+  cosine (Figures 7a/7b);
+* a node swapping interests re-converges in ~40 cycles (WUP metric) vs
+  >100 (cosine);
+* the joiner starts receiving liked news essentially immediately
+  (Figure 7c) thanks to the cold-start procedure and the metric's bias
+  towards small profiles.
+
+This is the suite's slowest benchmark (two metrics × repeats × 200-cycle
+runs).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_emit
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_dynamics(benchmark, scale):
+    report = run_and_emit(benchmark, "fig7", scale)
+    wup = report.data["wup"]
+    cos = report.data["cosine"]
+
+    # the WUP metric converges within a profile window's worth of cycles
+    assert wup["join_convergence"] is not None
+    assert wup["join_convergence"] <= 40
+    assert wup["change_convergence"] is not None
+    assert wup["change_convergence"] <= 80
+
+    # cosine is dramatically slower (the paper: >100 cycles)
+    def slow(value, floor):
+        return value is None or value > floor
+
+    assert slow(cos["join_convergence"], 2 * wup["join_convergence"])
+    # the joiner receives liked news right away under the WUP metric
+    assert sum(report.data["joiner_reception"]) > 0

@@ -1,0 +1,47 @@
+"""Figure 8: simulation vs ModelNet vs PlanetLab, and the bandwidth split.
+
+Paper claims:
+
+* (8a) ModelNet tracks simulation closely; PlanetLab collapses at small
+  fanouts (overloaded nodes drop up to 30% of deliveries) and recovers
+  with redundancy at fanout ≥ 6;
+* (8b) bandwidth grows linearly with fanout and is dominated by BEEP
+  (news) rather than WUP (view management); at 30-second cycles the totals
+  are in the tens of Kbps.
+
+Reproduction targets: the three-way ordering at small fanout
+(simulation ≈ ModelNet > PlanetLab), convergence at large fanout, and the
+BEEP-dominant, fanout-increasing bandwidth split.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_emit
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_deployment_and_bandwidth(benchmark, scale):
+    report = run_and_emit(benchmark, "fig8", scale)
+    f1 = report.data["f1"]
+    fanouts = report.data["fanouts"]
+
+    sim = np.asarray(f1["Simulation"])
+    modelnet = np.asarray(f1["ModelNet"])
+    planetlab = np.asarray(f1["PlanetLab"])
+
+    # ModelNet stays close to simulation everywhere
+    assert np.abs(sim - modelnet).mean() < 0.08
+    # PlanetLab hurts at the smallest fanouts ...
+    assert planetlab[0] < sim[0]
+    # ... and redundancy closes most of the gap at the largest fanout
+    assert sim[-1] - planetlab[-1] < 0.12
+
+    # Figure 8b: bandwidth rows are (fanout, total, wup, beep)
+    bw = report.data["bandwidth"]
+    totals = [row[1] for row in bw]
+    beeps = [row[3] for row in bw]
+    wups = [row[2] for row in bw]
+    assert totals[-1] > totals[0]  # grows with fanout
+    # news dissemination dominates view management at the larger fanouts
+    assert beeps[-1] > wups[-1]

@@ -1,0 +1,41 @@
+"""Figure 9: centralized vs decentralized WHATSUP.
+
+Paper claims: the decentralized system is "a very good approximation" of
+the global-knowledge variant (≈5% F1 gap at the operating point); global
+knowledge buys precision (+17%) at slightly lower recall (−14%); the
+cosine-metric decentralized variant trails both at low fanouts.
+
+Reproduction targets: the precision ordering (centralized > decentralized)
+and the recall ordering (decentralized > centralized), with the F1 gap
+closing as the fanout grows.  At our reduced scale the centralized
+variant's recall penalty is larger than the paper's (documented in
+EXPERIMENTS.md), so the F1 crossover lands at larger fanouts.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_and_emit
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_centralized(benchmark, scale):
+    report = run_and_emit(benchmark, "fig9", scale)
+    prec = report.data["precision"]
+    rec = report.data["recall"]
+    f1 = report.data["f1"]
+
+    cen_p = np.asarray(prec["Centralized"])
+    dec_p = np.asarray(prec["WhatsUp"])
+    # global knowledge buys precision across the sweep (on average)
+    assert cen_p.mean() > dec_p.mean()
+
+    # the decentralized push keeps the recall advantage
+    assert np.asarray(rec["WhatsUp"]).mean() > np.asarray(rec["Centralized"]).mean()
+
+    # the F1 gap narrows with fanout: last-point gap below first-point gap
+    gap = np.asarray(f1["WhatsUp"]) - np.asarray(f1["Centralized"])
+    assert gap[-1] < gap[0] + 0.02
+
+    # the cosine decentralized variant trails plain WhatsUp at small fanouts
+    assert f1["WhatsUp"][0] >= f1["WhatsUp-Cos"][0] - 0.02

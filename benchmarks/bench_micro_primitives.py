@@ -1,0 +1,108 @@
+"""Micro-benchmarks of the hot primitives.
+
+Unlike the macro table/figure benchmarks (one full simulation per round),
+these measure the inner-loop costs that dominate a run — useful for
+tracking performance regressions in the similarity metrics, gossip
+merges and the engine cycle loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import WhatsUpConfig, WhatsUpSystem
+from repro.core.profiles import FrozenProfile, ItemProfile, UserProfile
+from repro.core.similarity import (
+    cosine_similarity,
+    pairwise_wup,
+    wup_similarity,
+)
+from repro.datasets import survey_dataset
+from repro.gossip.vicinity import ClusteringProtocol
+from repro.gossip.views import ViewEntry
+
+
+def _profile_pair(n_items=120, overlap=0.4, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.choice(10_000, size=n_items, replace=False)
+    a, b = UserProfile(), UserProfile()
+    for iid in base:
+        r = rng.random()
+        if r < overlap:
+            a.record_opinion(int(iid), 0, True)
+            b.record_opinion(int(iid), 0, rng.random() < 0.7)
+        elif r < 0.7:
+            a.record_opinion(int(iid), 0, rng.random() < 0.5)
+        else:
+            b.record_opinion(int(iid), 0, rng.random() < 0.5)
+    return a.snapshot(), b.snapshot()
+
+
+@pytest.mark.benchmark(group="micro-similarity")
+def test_micro_wup_similarity(benchmark):
+    a, b = _profile_pair()
+    result = benchmark(wup_similarity, a, b)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.benchmark(group="micro-similarity")
+def test_micro_cosine_similarity(benchmark):
+    a, b = _profile_pair()
+    result = benchmark(cosine_similarity, a, b)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.benchmark(group="micro-similarity")
+def test_micro_wup_vs_item_profile(benchmark):
+    # the BEEP orientation path: binary candidate vs real-valued item profile
+    a, _ = _profile_pair()
+    rng = np.random.default_rng(3)
+    item = ItemProfile()
+    for iid in rng.choice(10_000, size=150, replace=False):
+        item.set(int(iid), 0, float(rng.random()))
+    result = benchmark(wup_similarity, a, item)
+    assert 0.0 <= result <= 1.0
+
+
+@pytest.mark.benchmark(group="micro-similarity")
+def test_micro_pairwise_wup_matrix(benchmark):
+    rng = np.random.default_rng(1)
+    rated = rng.random((240, 500)) < 0.4
+    likes = rated & (rng.random((240, 500)) < 0.6)
+    out = benchmark(pairwise_wup, likes, rated)
+    assert out.shape == (240, 240)
+
+
+@pytest.mark.benchmark(group="micro-gossip")
+def test_micro_clustering_merge(benchmark):
+    rng = np.random.default_rng(5)
+    own, _ = _profile_pair(seed=9)
+    proto = ClusteringProtocol(0, 20, wup_similarity, np.random.default_rng(0))
+    candidates = []
+    for nid in range(1, 61):
+        scores = {
+            int(i): 1.0 for i in rng.choice(10_000, size=40, replace=False)
+        }
+        candidates.append(
+            ViewEntry(nid, "10.0.0.1", FrozenProfile(scores, is_binary=True), 0)
+        )
+
+    def merge_once():
+        proto.merge(own, candidates)
+
+    benchmark(merge_once)
+    assert len(proto.view) == 20
+
+
+@pytest.mark.benchmark(group="micro-engine")
+def test_micro_engine_cycle_throughput(benchmark):
+    dataset = survey_dataset(n_base_users=100, n_base_items=120, seed=2)
+    system = WhatsUpSystem(dataset, WhatsUpConfig(f_like=8), seed=2)
+    system.run(10, drain=False)  # warm the overlay and the stream
+
+    def one_cycle():
+        system.engine.run(1)
+
+    benchmark.pedantic(one_cycle, rounds=10, iterations=1)
+    assert system.engine.cycles_run >= 20

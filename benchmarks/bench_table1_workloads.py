@@ -1,0 +1,22 @@
+"""Table I: summary of the workloads.
+
+Regenerates the three datasets and prints their dimensions; at
+``REPRO_SCALE=paper`` the rows match the paper's 3180/750/480 users.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_emit
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_workloads(benchmark, scale):
+    report = run_and_emit(benchmark, "table1", scale)
+    rows = {name: (users, items) for name, users, items in report.data["rows"]}
+    assert set(rows) == {"Synthetic", "Digg", "WHATSUP Survey"}
+    # the three workloads keep the paper's size ordering
+    assert rows["Synthetic"][0] > rows["Digg"][0] > rows["WHATSUP Survey"][0]
+    if scale.name == "paper":
+        assert rows["Synthetic"][0] == 3180
+        assert rows["Digg"] == (750, 2500)
+        assert rows["WHATSUP Survey"] == (480, 1000)

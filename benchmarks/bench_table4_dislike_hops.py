@@ -1,0 +1,28 @@
+"""Table IV: news received and liked via dislike forwards.
+
+Paper distribution of the dislike counter at liked receptions:
+
+    0: 54%   1: 31%   2: 10%   3: 3%   4: 2%
+
+Reproduction targets: monotonically decreasing mass, a *substantial*
+(>10%) share of liked deliveries owing at least one hop to the dislike
+path — the paper's evidence that negative feedback carries items across
+uninterested regions.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_emit
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_dislike_distribution(benchmark, scale):
+    report = run_and_emit(benchmark, "table4", scale)
+    dist = report.data["distribution"]
+    assert sum(dist.values()) == pytest.approx(1.0, abs=0.01)
+    # decreasing mass over counter values
+    values = [dist[k] for k in sorted(dist)]
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+    # the dislike path contributes a real share of useful deliveries
+    via_dislike = 1.0 - dist[0]
+    assert via_dislike > 0.10

@@ -1,0 +1,52 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark reproduces one paper table/figure through the experiment
+registry, prints the paper-shaped report, saves it under
+``benchmarks/results/<exp_id>.txt`` and asserts the qualitative claims the
+paper makes about that artifact.
+
+Scale defaults to ``small`` (see ``repro.experiments.scale``); export
+``REPRO_SCALE=medium`` or ``=paper`` before running for larger runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import get_scale, run_experiment
+from repro.experiments.reporting import ExperimentReport
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: default seed for all benchmark runs (deterministic suite)
+BENCH_SEED = 1
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The scale profile for this benchmark session."""
+    return get_scale()
+
+
+def emit(report: ExperimentReport) -> None:
+    """Print a report and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{report.exp_id}.txt").write_text(str(report) + "\n")
+    print()
+    print(report)
+
+
+def run_and_emit(benchmark, exp_id: str, scale) -> ExperimentReport:
+    """Run one registry experiment under pytest-benchmark and persist it.
+
+    ``rounds=1``: these are macro-benchmarks (full simulations); the
+    benchmark fixture records the wall time of a single complete
+    reproduction of the artifact.
+    """
+    report = benchmark.pedantic(
+        run_experiment, args=(exp_id, scale, BENCH_SEED), rounds=1, iterations=1
+    )
+    emit(report)
+    return report

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Scenario: community newsletters without a server.
+
+The paper's motivating use case: disseminate items to everyone *interested*
+without any central authority and without explicit subscriptions.  We build
+the synthetic Arxiv-style workload — disjoint interest communities of very
+different sizes — publish items from inside each community, and check where
+they travel:
+
+* items should saturate their own community (high recall),
+* and barely leak outside it (high precision),
+* even though no node knows what a "community" is — the implicit social
+  network discovers them from like/dislike clicks alone.
+
+Run with::
+
+    python examples/community_newsletter.py
+"""
+
+import numpy as np
+
+from repro import WhatsUpConfig, WhatsUpSystem, synthetic_dataset
+from repro.metrics import evaluate_dissemination, lscc_fraction, overlay_graph
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    dataset = synthetic_dataset(
+        n_users=300,
+        n_communities=7,
+        items_per_community=25,
+        size_ratio=6.0,  # smallest circle ~15 members, largest ~90
+        seed=11,
+    )
+    member_counts = np.zeros(7, dtype=int)
+    for topic in range(7):
+        # members of a community = users interested in its items
+        item_idx = np.flatnonzero(dataset.item_topics == topic)[0]
+        member_counts[topic] = int(dataset.likes[:, item_idx].sum())
+    print("community sizes:", member_counts.tolist())
+
+    system = WhatsUpSystem(dataset, WhatsUpConfig(f_like=5), seed=3)
+    system.run()
+
+    reached = system.reached_matrix()
+    scores = evaluate_dissemination(reached, dataset.likes)
+    print(f"\noverall precision={scores.precision:.3f} "
+          f"recall={scores.recall:.3f} F1={scores.f1:.3f}")
+
+    rows = []
+    for topic in range(7):
+        items = np.flatnonzero(dataset.item_topics == topic)
+        inside = dataset.likes[:, items]
+        got = reached[:, items]
+        recall = (inside & got).sum() / max(inside.sum(), 1)
+        leakage = (got & ~inside).sum() / max(got.sum(), 1)
+        rows.append((topic, int(member_counts[topic]), recall, leakage))
+    print()
+    print(
+        format_table(
+            ["Community", "Members", "Recall inside", "Leakage outside"],
+            rows,
+            title="Per-community dissemination",
+        )
+    )
+
+    graph = overlay_graph(system.nodes)
+    print(f"\nimplicit social network: LSCC fraction = "
+          f"{lscc_fraction(graph):.2f}")
+    print(
+        "With fully disjoint interests the WUP overlay fragments into one "
+        "island per community — by design: there is no common like to link "
+        "them.  Global connectivity (and the leakage above) comes from the "
+        "RPS layer and BEEP's dislike path, which is exactly the paper's "
+        "explore/exploit split.  On overlapping-interest workloads (survey) "
+        "the LSCC covers the whole network; see the fig4 experiment."
+    )
+
+
+if __name__ == "__main__":
+    main()

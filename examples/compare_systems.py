@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare WHATSUP against every baseline the paper evaluates (§IV-B).
+
+Reruns a miniature of Table III: homogeneous gossip, decentralized CF with
+both metrics, the cosine WHATSUP variant, the centralized upper bounds, and
+WHATSUP itself — all on the same survey workload, same seed.
+
+Run with::
+
+    python examples/compare_systems.py
+"""
+
+from repro import build_system, survey_dataset
+from repro.experiments import run_one, score_system
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    dataset = survey_dataset(n_base_users=120, n_base_items=150, seed=7)
+    print(f"survey workload: {dataset.n_users} users, {dataset.n_items} items\n")
+
+    runs = [
+        ("gossip", 4),        # paper's best gossip point
+        ("cf-cos", 12),
+        ("cf-wup", 10),
+        ("whatsup-cos", 10),
+        ("whatsup", 10),      # paper's best WHATSUP point
+        ("c-whatsup", 10),
+        ("c-pubsub", None),
+    ]
+    rows = []
+    for name, fanout in runs:
+        result = run_one(name, dataset, fanout=fanout, seed=42)
+        rows.append(
+            (
+                result.label(),
+                result.precision,
+                result.recall,
+                result.f1,
+                round(result.messages_per_user, 1),
+            )
+        )
+
+    print(
+        format_table(
+            ["Algorithm", "Precision", "Recall", "F1-Score", "Mess./User"],
+            rows,
+            title="Survey workload — all systems, one seed",
+        )
+    )
+    print(
+        "\nExpected shape (paper Table III/V): WHATSUP reaches gossip-class "
+        "recall at a fraction of gossip's message cost and far better "
+        "precision; the WUP metric beats cosine (most visibly in recall); "
+        "C-Pub/Sub trades perfect recall for topic-granularity precision. "
+        "At this reduced scale single-seed runs carry noise — the "
+        "benchmarks sweep fanouts and pick per-approach best points as the "
+        "paper does."
+    )
+
+
+if __name__ == "__main__":
+    main()

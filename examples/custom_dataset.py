@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Scenario: bring your own interest data.
+
+Downstream users rarely have the paper's workloads — they have their own
+like/dislike logs.  ``dataset_from_likes`` wraps any boolean user×item
+matrix into a runnable workload, so the whole harness (systems, metrics,
+sweeps) works on external data.
+
+Here we fabricate a tiny "engineering org" feed: platform, frontend and
+data-science guilds with overlapping members, then check that WHATSUP
+routes each guild's posts to its members without a directory service.
+
+Run with::
+
+    python examples/custom_dataset.py
+"""
+
+import numpy as np
+
+from repro import WhatsUpConfig, WhatsUpSystem, dataset_from_likes
+from repro.metrics import evaluate_dissemination
+from repro.utils.tables import format_table
+
+
+def build_org_matrix(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """90 engineers × 120 posts across 3 guilds (some people in two)."""
+    n_users, n_items = 90, 120
+    guild_of_item = rng.integers(0, 3, size=n_items)
+    membership = np.zeros((n_users, 3), dtype=bool)
+    membership[np.arange(n_users), rng.integers(0, 3, size=n_users)] = True
+    # 20% of people follow a second guild
+    seconds = rng.random(n_users) < 0.2
+    membership[seconds, rng.integers(0, 3, size=int(seconds.sum()))] = True
+
+    likes = membership[:, guild_of_item]
+    # people skim ~80% of their guilds' posts and 3% of the rest
+    keep = rng.random(likes.shape) < np.where(likes, 0.8, 0.03)
+    return keep, guild_of_item
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    likes, item_topics = build_org_matrix(rng)
+    dataset = dataset_from_likes(
+        likes, name="eng-org", item_topics=item_topics, seed=13
+    )
+    print(f"custom workload: {dataset.n_users} users, {dataset.n_items} posts, "
+          f"like rate {dataset.like_rate():.2f}")
+
+    system = WhatsUpSystem(dataset, WhatsUpConfig(f_like=6), seed=42)
+    system.run()
+    scores = evaluate_dissemination(system.reached_matrix(), dataset.likes)
+
+    rows = [
+        ("precision", scores.precision),
+        ("recall", scores.recall),
+        ("F1-Score", scores.f1),
+        ("messages/user", system.stats.messages_per_user(dataset.n_users)),
+    ]
+    print()
+    print(format_table(["Metric", "Value"], rows, title="WHATSUP on eng-org"))
+    print("\nAny boolean likes matrix works the same way — plug in your "
+          "production click log and rerun every experiment in the registry.")
+
+
+if __name__ == "__main__":
+    main()

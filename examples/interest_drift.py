@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Scenario: newcomers and changing tastes (paper Figure 7).
+
+Two of the hardest cases for any collaborative filter:
+
+* a **new user** joins mid-stream with an empty profile (cold start) —
+  WHATSUP bootstraps her by inheriting a contact's views and rating the
+  three most popular items it can see (§II-D);
+* an **existing user changes interests** overnight — the profile window
+  (§II-E) ages out the stale opinions and the WUP view re-converges.
+
+The paper's claim: the asymmetric WUP metric makes both recoveries fast
+(~20 and ~40 cycles) while plain cosine needs over 100.  This example
+replays that comparison.
+
+Run with::
+
+    python examples/interest_drift.py
+"""
+
+from repro.experiments import run_dynamics_experiment
+
+
+def main() -> None:
+    print("running the joining/changing-node experiment "
+          "(2 metrics x 2 repeats x 200 cycles; takes a minute)...\n")
+    for metric in ("wup", "cosine"):
+        trace = run_dynamics_experiment(metric_name=metric, seed=1, repeats=3)
+        join = trace.convergence_cycle()
+        change = trace.change_convergence_cycle()
+        liked = sum(trace.joiner_liked_per_cycle.values())
+        print(f"metric = {metric}")
+        print(f"  joining node reaches 80% of the reference view quality in: "
+              f"{join if join is not None else '>120'} cycles")
+        print(f"  interest-swapped node recovers in: "
+              f"{change if change is not None else '>120'} cycles")
+        print(f"  liked news received by the joiner post-join: {liked:.0f}\n")
+    print("Expected shape (Figure 7): single-digit-to-~20-cycle convergence "
+          "for the WUP metric; cosine far slower or not at all, and its "
+          "joiner barely receives relevant news.")
+
+
+if __name__ == "__main__":
+    main()

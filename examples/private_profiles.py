@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Scenario: privacy-conscious deployments (paper §VII future work).
+
+WHATSUP ships user profiles to strangers by design.  The paper's conclusion
+sketches two mitigations, both implemented in :mod:`repro.privacy`:
+
+* **obfuscation** — gossip a randomized-response version of the profile
+  (entries suppressed / opinions flipped); accuracy degrades gracefully as
+  the disclosure level drops;
+* **onion-routed exchanges** — relay every message through proxies:
+  recommendation quality is untouched, bandwidth multiplies.
+
+Run with::
+
+    python examples/private_profiles.py
+"""
+
+from repro import WhatsUpConfig, WhatsUpSystem, survey_dataset
+from repro.metrics import evaluate_dissemination
+from repro.privacy import OnionRoutedTransport, obfuscated_whatsup_system
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    dataset = survey_dataset(n_base_users=120, n_base_items=150, seed=7)
+    config = WhatsUpConfig(f_like=8)
+
+    rows = []
+
+    baseline = WhatsUpSystem(dataset, config, seed=42)
+    baseline.run()
+    base_scores = evaluate_dissemination(baseline.reached_matrix(), dataset.likes)
+    rows.append(("no privacy", base_scores.f1, 1.0))
+
+    for flip, suppress in [(0.05, 0.10), (0.15, 0.30), (0.30, 0.50)]:
+        system = obfuscated_whatsup_system(
+            dataset, config, flip=flip, suppress=suppress, seed=42
+        )
+        system.run()
+        scores = evaluate_dissemination(system.reached_matrix(), dataset.likes)
+        rows.append(
+            (f"obfuscated (flip={flip:.2f}, suppress={suppress:.2f})", scores.f1, 1.0)
+        )
+
+    onion = OnionRoutedTransport(extra_hops=2)
+    system = WhatsUpSystem(dataset, config, seed=42, transport=onion)
+    system.run()
+    scores = evaluate_dissemination(system.reached_matrix(), dataset.likes)
+    rows.append(("onion-routed (2 relays)", scores.f1, onion.bandwidth_multiplier(1024)))
+
+    print(
+        format_table(
+            ["Deployment", "F1-Score", "Bandwidth multiplier"],
+            rows,
+            title="Privacy mechanisms vs recommendation quality",
+        )
+    )
+    print(
+        "\nExpected shape (§VII): obfuscation trades accuracy for "
+        "disclosure; the proxy chain keeps quality intact and pays in "
+        "bandwidth."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Scenario: breaking news over an unreliable network.
+
+The paper's robustness pitch (§V-E, Table VI, Figure 8a): gossip redundancy
+absorbs heavy message loss, overloaded nodes, and churn.  This example runs
+the same workload over four network conditions:
+
+* a perfect network (the simulation baseline),
+* 20% and 50% uniform message loss (the ModelNet experiments),
+* a PlanetLab-style network (hotspot nodes dropping bursts of traffic),
+* plus node churn (crashes and rejoins) on top of the perfect network.
+
+Run with::
+
+    python examples/unreliable_network.py
+"""
+
+from repro import WhatsUpConfig, WhatsUpSystem, survey_dataset
+from repro.metrics import evaluate_dissemination
+from repro.network.transport import PlanetLabTransport, UniformLossTransport
+from repro.simulation.churn import ChurnModel
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    dataset = survey_dataset(n_base_users=120, n_base_items=150, seed=7)
+    config = WhatsUpConfig(f_like=6)
+
+    conditions = [
+        ("perfect network", None, None),
+        ("20% message loss", UniformLossTransport(0.20), None),
+        ("50% message loss", UniformLossTransport(0.50), None),
+        ("PlanetLab-like hotspots", PlanetLabTransport(), None),
+        (
+            "2%/cycle churn (rejoin after 5)",
+            None,
+            ChurnModel(kill_rate=0.02, rejoin_after=5, start_cycle=5),
+        ),
+    ]
+
+    rows = []
+    for label, transport, churn in conditions:
+        system = WhatsUpSystem(
+            dataset, config, seed=42, transport=transport, churn=churn
+        )
+        system.run()
+        scores = evaluate_dissemination(system.reached_matrix(), dataset.likes)
+        observed_loss = system.stats.loss_rate()
+        rows.append(
+            (label, scores.precision, scores.recall, scores.f1, observed_loss)
+        )
+
+    print(
+        format_table(
+            ["Condition", "Precision", "Recall", "F1-Score", "Observed loss"],
+            rows,
+            title=f"WHATSUP (fLIKE={config.f_like}) under network failures",
+        )
+    )
+    print(
+        "\nExpected shape (Table VI): moderate loss barely moves F1 — the "
+        "redundancy of fanout-6 gossip re-delivers what the network drops; "
+        "only extreme loss (50%) collapses recall."
+    )
+
+
+if __name__ == "__main__":
+    main()

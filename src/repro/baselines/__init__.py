@@ -1,0 +1,28 @@
+"""The paper's competitors (Section IV-B).
+
+* :class:`GossipSystem` — standard homogeneous gossip (opinion-blind);
+* :class:`CfSystem` — decentralized nearest-neighbour CF, instantiated as
+  CF-WUP (``metric="wup"``) or CF-Cos (``metric="cosine"``);
+* :class:`CascadeSystem` — explicit social cascading (Digg workload);
+* :class:`CPubSubSystem` — the ideal centralized topic pub/sub (closed form);
+* :class:`CWhatsUpSystem` — centralized WHATSUP with global knowledge.
+"""
+
+from repro.baselines.cascade import CascadeNode, CascadeSystem
+from repro.baselines.centralized import CentralServer, CWhatsUpNode, CWhatsUpSystem
+from repro.baselines.cf import CfNode, CfSystem
+from repro.baselines.gossip import GossipNode, GossipSystem
+from repro.baselines.pubsub import CPubSubSystem
+
+__all__ = [
+    "CascadeNode",
+    "CascadeSystem",
+    "CentralServer",
+    "CWhatsUpNode",
+    "CWhatsUpSystem",
+    "CfNode",
+    "CfSystem",
+    "GossipNode",
+    "GossipSystem",
+    "CPubSubSystem",
+]

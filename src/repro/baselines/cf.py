@@ -1,0 +1,180 @@
+"""Decentralized collaborative-filtering baselines CF-WUP and CF-Cos.
+
+Paper Section IV-B: "In a decentralized CF scheme based on nearest-neighbor
+technique, when a node receives a news item it likes, it forwards it to its
+k closest neighbors according to some similarity metric. ... While it is
+decentralized, this scheme does not benefit from the orientation and
+amplification mechanisms provided by BEEP.  More specifically, it takes no
+action when a node does not like a news item."
+
+The neighbourhood is maintained exactly like WHATSUP's WUP layer (RPS +
+greedy clustering) so that the *only* difference from WHATSUP is the
+forwarding rule — which is what Figures 3/4 and Table III isolate:
+
+* liked item → forwarded to **all k** clustering neighbours (not a random
+  subset of a larger view — there is no amplification tuning);
+* disliked item → dropped (no dislike path, no TTL, no orientation);
+* item copies carry no item profile (nothing would read it).
+
+``CF-WUP`` instantiates the clustering metric with the paper's asymmetric
+metric; ``CF-Cos`` with classical cosine.
+"""
+
+from __future__ import annotations
+
+from repro.core.news import ItemCopy, NewsItem
+from repro.core.node import OpinionFn
+from repro.core.profiles import UserProfile
+from repro.core.similarity import get_metric
+from repro.datasets.base import Dataset, OpinionOracle
+from repro.gossip.bootstrap import random_view_bootstrap
+from repro.gossip.rps import RpsProtocol
+from repro.gossip.vicinity import ClusteringProtocol
+from repro.network.message import MessageKind
+from repro.network.transport import Transport
+from repro.simulation.engine import CycleEngine
+from repro.simulation.harness import SystemHarness
+from repro.simulation.node import BaseNode
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import RngStreams
+
+__all__ = ["CfNode", "CfSystem"]
+
+
+class CfNode(BaseNode):
+    """One participant of the decentralized CF baseline."""
+
+    __slots__ = ("k", "opinion", "profile", "rps", "clustering", "seen", "profile_window")
+
+    def __init__(
+        self,
+        node_id: int,
+        k: int,
+        metric_name: str,
+        rps_view_size: int,
+        profile_window: int,
+        opinion: OpinionFn,
+        streams: RngStreams,
+    ) -> None:
+        super().__init__(node_id)
+        if k <= 0:
+            raise ConfigurationError(f"k must be > 0, got {k}")
+        self.k = k
+        self.opinion = opinion
+        self.profile = UserProfile()
+        self.profile_window = profile_window
+        self.rps = RpsProtocol(
+            node_id, rps_view_size, streams.fresh(f"cf-{node_id}-rps")
+        )
+        self.clustering = ClusteringProtocol(
+            node_id,
+            k,
+            get_metric(metric_name),
+            streams.fresh(f"cf-{node_id}-clu"),
+        )
+        self.seen: set[int] = set()
+
+    def begin_cycle(self, engine: CycleEngine, now: int) -> None:
+        window_start = now - self.profile_window
+        if window_start > 0:
+            self.profile.purge_older_than(window_start)
+        snapshot = self.profile.snapshot()
+        for proto, kind in (
+            (self.rps, MessageKind.RPS),
+            (self.clustering, MessageKind.WUP),
+        ):
+            started = proto.initiate(snapshot, now)
+            if started is not None:
+                partner, msg = started
+                engine.gossip(self.node_id, partner, msg, kind)
+
+    def on_gossip(self, msg, kind, engine, now):
+        snapshot = self.profile.snapshot()
+        if kind is MessageKind.RPS:
+            return self.rps.handle(msg, snapshot, now)
+        if kind is MessageKind.WUP:
+            return self.clustering.handle(
+                msg, snapshot, now, rps_entries=self.rps.view.entries()
+            )
+        return None
+
+    def _forward_to_neighbours(self, copy: ItemCopy, engine: CycleEngine) -> None:
+        targets = self.clustering.view.node_ids()
+        if not targets:
+            return
+        for target in targets:
+            engine.send_item(
+                self.node_id, target, copy.clone_for_forward(), via_like=True
+            )
+        engine.log_forward(self.node_id, copy, True, len(targets))
+
+    def receive_item(self, copy, via_like, engine, now):
+        item = copy.item
+        if item.item_id in self.seen:
+            engine.log_duplicate()
+            return
+        self.seen.add(item.item_id)
+        liked = bool(self.opinion(self.node_id, item))
+        self.profile.record_opinion(item.item_id, item.created_at, liked)
+        engine.log_delivery(self.node_id, copy, liked, via_like)
+        if liked:  # "takes no action when a node does not like a news item"
+            self._forward_to_neighbours(copy, engine)
+
+    def publish(self, item: NewsItem, engine, now):
+        self.seen.add(item.item_id)
+        self.profile.record_opinion(item.item_id, item.created_at, True)
+        copy = ItemCopy(item=item)
+        engine.log_delivery(self.node_id, copy, liked=True, via_like=True)
+        self._forward_to_neighbours(copy, engine)
+
+
+class CfSystem(SystemHarness):
+    """Decentralized CF over a workload.
+
+    Parameters
+    ----------
+    dataset:
+        The workload.
+    k:
+        Neighbourhood size (Table III's best points: 19 for CF-WUP, 29 for
+        CF-Cos on the survey workload).
+    metric:
+        ``"wup"`` → CF-WUP, ``"cosine"`` → CF-Cos.
+    rps_view_size / profile_window:
+        Kept at WHATSUP's defaults for comparability.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        k: int = 19,
+        metric: str = "wup",
+        *,
+        rps_view_size: int = 30,
+        profile_window: int = 13,
+        seed: int = 0,
+        transport: Transport | None = None,
+    ) -> None:
+        # paper naming: CF-WUP / CF-Cos
+        short = {"cosine": "cos"}.get(metric.lower(), metric.lower())
+        self.system_name = f"cf-{short}"
+        self.streams = RngStreams(seed)
+        oracle = OpinionOracle(dataset)
+        self.nodes = [
+            CfNode(
+                uid, k, metric, rps_view_size, profile_window, oracle, self.streams
+            )
+            for uid in range(dataset.n_users)
+        ]
+        random_view_bootstrap(
+            self.nodes,
+            self.streams.get("bootstrap"),
+            lambda n: (n.rps.view, n.clustering.view),
+        )
+        engine = CycleEngine(
+            self.nodes,
+            dataset.schedule(),
+            transport=transport,
+            streams=self.streams,
+        )
+        super().__init__(dataset, engine)

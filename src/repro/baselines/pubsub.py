@@ -1,0 +1,84 @@
+"""C-Pub/Sub: the ideal centralized topic-based publish/subscribe baseline.
+
+Paper Section IV-B: "we compare WHATSUP against C-Pub/Sub, a centralized
+topic-based pub/sub system achieving complete dissemination.  C-Pub/Sub
+guarantees that all the nodes subscribed to a topic receive all the
+associated items.  C-Pub/Sub is also ideal in terms of message complexity
+as it disseminates news items along trees that span all and only their
+subscribers."  Subscriptions are derived from the ground truth: a user is
+subscribed to a topic iff she likes at least one item of that topic.
+
+Because the system is *ideal*, it needs no simulation: deliveries and
+message counts follow in closed form —
+
+* item *i* reaches exactly the subscribers of ``topic(i)``;
+* the spanning tree over the ``s`` subscribers costs ``s - 1`` edge
+  messages (the publisher is one of the subscribers).
+
+The class still exposes the same surface as the engine-backed systems
+(``reached_matrix``, message totals) so the experiment harness treats it
+uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+
+__all__ = ["CPubSubSystem"]
+
+
+class CPubSubSystem:
+    """Closed-form evaluation of the ideal topic pub/sub."""
+
+    system_name = "c-pubsub"
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        self._subscriptions = dataset.topic_subscriptions()
+        self._reached: np.ndarray | None = None
+        self._messages: int = 0
+
+    def run(self, cycles: int | None = None, *, drain: bool = True) -> None:
+        """Compute the dissemination outcome (no cycles are simulated)."""
+        ds = self.dataset
+        reached = np.zeros((ds.n_users, ds.n_items), dtype=bool)
+        subs_per_topic: dict[int, np.ndarray] = {}
+        for topic in range(ds.n_topics):
+            subs_per_topic[topic] = np.array(
+                [topic in s for s in self._subscriptions], dtype=bool
+            )
+        messages = 0
+        for idx, item in enumerate(ds.items):
+            subscribers = subs_per_topic.get(item.topic)
+            if subscribers is None:
+                continue
+            reached[:, idx] = subscribers
+            # the publisher always holds its item even if (degenerate case)
+            # it is not a subscriber of the topic
+            reached[item.source, idx] = True
+            n_sub = int(reached[:, idx].sum())
+            messages += max(n_sub - 1, 0)  # spanning-tree edges
+        self._reached = reached
+        self._messages = messages
+
+    # -- harness-compatible surface ----------------------------------------
+
+    def reached_matrix(self) -> np.ndarray:
+        """Boolean delivery matrix (must :meth:`run` first)."""
+        if self._reached is None:
+            raise RuntimeError("CPubSubSystem.run() has not been called")
+        return self._reached
+
+    @property
+    def total_messages(self) -> int:
+        """Spanning-tree message count across all items."""
+        return self._messages
+
+    def messages_per_user(self) -> float:
+        """Messages normalised per user (Table V comparability)."""
+        return self._messages / self.dataset.n_users
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CPubSubSystem(dataset={self.dataset.name!r})"

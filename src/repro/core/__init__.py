@@ -1,0 +1,58 @@
+"""The paper's contribution: profiles, the WUP metric, WUP, and BEEP.
+
+Public surface:
+
+* data structures — :class:`UserProfile`, :class:`ItemProfile`,
+  :class:`NewsItem`, :class:`ItemCopy`;
+* the similarity metrics — :func:`wup_similarity` (the paper's asymmetric
+  metric), :func:`cosine_similarity`, and the :func:`get_metric` registry;
+* the protocol stack — :class:`WhatsUpNode` (WUP + BEEP per node),
+  :class:`BeepForwarder`, cold-start helpers;
+* assembly — :class:`WhatsUpConfig` (Table II) and :class:`WhatsUpSystem`
+  (a runnable deployment over a workload).
+"""
+
+from repro.core.beep import BeepForwarder
+from repro.core.coldstart import bootstrap_from_contact, popular_items_in_views
+from repro.core.config import WhatsUpConfig
+from repro.core.news import ItemCopy, NewsItem
+from repro.core.node import WhatsUpNode
+from repro.core.profiles import FrozenProfile, ItemProfile, Profile, ProfileEntry, UserProfile
+from repro.core.similarity import (
+    available_metrics,
+    cosine_similarity,
+    get_metric,
+    jaccard_similarity,
+    overlap_similarity,
+    pairwise_cosine,
+    pairwise_wup,
+    similarity_matrix,
+    wup_similarity,
+)
+from repro.core.system import WhatsUpSystem, seed_random_views
+
+__all__ = [
+    "BeepForwarder",
+    "bootstrap_from_contact",
+    "popular_items_in_views",
+    "WhatsUpConfig",
+    "ItemCopy",
+    "NewsItem",
+    "WhatsUpNode",
+    "FrozenProfile",
+    "ItemProfile",
+    "Profile",
+    "ProfileEntry",
+    "UserProfile",
+    "available_metrics",
+    "cosine_similarity",
+    "get_metric",
+    "jaccard_similarity",
+    "overlap_similarity",
+    "pairwise_cosine",
+    "pairwise_wup",
+    "similarity_matrix",
+    "wup_similarity",
+    "WhatsUpSystem",
+    "seed_random_views",
+]

@@ -1,0 +1,137 @@
+"""BEEP — the Biased EpidEmic dissemination Protocol (paper Section III).
+
+BEEP follows the SIR epidemic model but is heterogeneous along two
+dimensions, both driven by the receiving user's opinion (Algorithm 2):
+
+* **Amplification** — a node that *likes* an item forwards it to ``fLIKE``
+  targets; a node that *dislikes* it forwards it to a single target, and
+  only while the copy's dislike counter is below the BEEP TTL.  User
+  opinions thus act as a *social filter* on the epidemic's reproduction
+  rate.
+* **Orientation** — like-forwards pick targets **uniformly at random from
+  the WUP view** (already interest-biased, and randomised to avoid
+  over-clustering); dislike-forwards pick the **RPS-view node whose profile
+  is most similar to the item's profile**, giving the item a chance to
+  reach a distant interested community even though the current holder is
+  not interested (serendipity / explore).
+
+The implementation is a strategy object shared by WHATSUP nodes; it is
+stateless apart from its RNG, so one instance per node suffices.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from repro.core.config import WhatsUpConfig
+from repro.core.news import ItemCopy
+from repro.core.similarity import MetricFn
+from repro.gossip.views import View, ViewEntry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.engine import CycleEngine
+
+__all__ = ["BeepForwarder"]
+
+
+class BeepForwarder:
+    """Per-node BEEP forwarding logic (Algorithm 2).
+
+    Parameters
+    ----------
+    config:
+        The node's WHATSUP parameters (fanouts, TTL).
+    metric:
+        Similarity metric for dislike orientation — candidates are scored
+        with ``metric(candidate_profile, item_profile)``, i.e. the
+        candidate is the "chooser" ``n`` of the asymmetric WUP metric (how
+        well the item's community profile matches what the candidate
+        likes).
+    rng:
+        Target-sampling randomness.
+    """
+
+    __slots__ = ("config", "metric", "rng")
+
+    def __init__(
+        self,
+        config: WhatsUpConfig,
+        metric: MetricFn,
+        rng: np.random.Generator,
+    ) -> None:
+        self.config = config
+        self.metric = metric
+        self.rng = rng
+
+    # -- target selection --------------------------------------------------
+
+    def like_targets(self, wup_view: View) -> list[int]:
+        """Amplification: ``fLIKE`` uniform random picks from the WUP view.
+
+        Random (not closest-first) selection avoids "forming too clustered
+        a topology" (Section III-B).
+        """
+        entries = wup_view.sample(self.config.f_like, self.rng)
+        return [e.node_id for e in entries]
+
+    def dislike_targets(self, rps_view: View, copy: ItemCopy) -> list[int]:
+        """Orientation: the RPS node(s) closest to the item's profile.
+
+        Returns at most ``f_dislike`` node ids (the paper uses exactly 1).
+        Entries with zero similarity still qualify — the paper picks the
+        *most similar* node, falling back to an effectively random node
+        when nothing matches (serendipity requires the item to keep
+        moving).  Ties break **randomly**: a deterministic tie-break would
+        systematically starve fresh nodes whose profiles still score zero
+        against every item profile.
+        """
+        entries = rps_view.entries()
+        if not entries:
+            return []
+        k = min(self.config.f_dislike, len(entries))
+        if k == 0:
+            return []
+        item_profile = copy.profile
+        metric = self.metric
+        order = self.rng.permutation(len(entries))
+        shuffled = [entries[int(i)] for i in order]
+        scored = sorted(
+            shuffled, key=lambda e: -metric(e.profile, item_profile)
+        )
+        return [e.node_id for e in scored[:k]]
+
+    # -- the forwarding rule -------------------------------------------------
+
+    def forward(
+        self,
+        node_id: int,
+        copy: ItemCopy,
+        liked: bool,
+        wup_view: View,
+        rps_view: View,
+        engine: "CycleEngine",
+    ) -> int:
+        """Apply Algorithm 2 to one received (or published) item copy.
+
+        Returns the number of targets the copy was sent to.  The caller has
+        already updated the user profile and the copy's item profile
+        (Algorithm 1); this method only chooses targets and ships clones.
+        """
+        if not liked:
+            if copy.dislikes >= self.config.beep_ttl:
+                return 0  # line 25/29: TTL reached, drop
+            targets = self.dislike_targets(rps_view, copy)
+        else:
+            targets = self.like_targets(wup_view)
+
+        if not targets:
+            return 0
+        for target in targets:
+            clone = copy.clone_for_forward()
+            if not liked:
+                clone.dislikes += 1  # line 26: dI <- dI + 1
+            engine.send_item(node_id, target, clone, via_like=liked)
+        engine.log_forward(node_id, copy, liked, len(targets))
+        return len(targets)

@@ -1,0 +1,139 @@
+"""WHATSUP system parameters (paper Table II).
+
++----------------+---------------------------------------------+---------+
+| Parameter      | Description                                 | Paper   |
++================+=============================================+=========+
+| ``RPSvs``      | Size of the random sample (RPS view)        | 30      |
+| ``RPSf``       | Frequency of gossip in the RPS              | 1 cycle |
+| ``WUPvs``      | Size of the social network (WUP view)       | 2·fLIKE |
+| Profile window | News item TTL inside profiles               | 13 cyc. |
+| BEEP TTL       | Dissemination TTL for dislike               | 4       |
++----------------+---------------------------------------------+---------+
+
+The like fanout ``fLIKE`` is the headline sweep parameter of every figure;
+Table III's best WHATSUP operating point is ``fLIKE = 10``.  The paper keeps
+the dislike fanout fixed at 1 (Algorithm 2 forwards a disliked item to a
+single RPS target), exposed here as ``f_dislike`` for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.similarity import available_metrics
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["WhatsUpConfig"]
+
+
+@dataclass(frozen=True)
+class WhatsUpConfig:
+    """Per-node parameterisation of the WHATSUP stack.
+
+    Attributes
+    ----------
+    f_like:
+        BEEP's like fanout — number of WUP-view targets a liked item is
+        forwarded to (amplification).
+    wup_view_size:
+        WUP (clustering) view capacity; ``None`` → ``2 * f_like``, the
+        paper's best trade-off (Section IV-D).
+    rps_view_size:
+        RPS view capacity (paper: 30; good between 20 and 40).
+    beep_ttl:
+        Maximum value of an item copy's dislike counter; a disliked copy
+        whose counter reached the TTL is dropped (paper: 4).
+    f_dislike:
+        Targets per dislike-forward (paper: fixed 1; exposed for ablation).
+    profile_window:
+        Age bound, in cycles, for profile entries (paper: 13 cycles ≈ 1/5
+        of the experiment duration).
+    similarity:
+        Metric name for both WUP clustering and BEEP orientation
+        (``"wup"`` for WHATSUP, ``"cosine"`` for the WHATSUP-Cos variant).
+    rps_every / wup_every:
+        Gossip periods in cycles (paper: every cycle, with the cycle length
+        setting wall-clock frequency).
+    cycle_seconds:
+        Modelled wall-clock duration of one cycle, used only for bandwidth
+        conversion (30 s in the paper's deployment experiments).
+    """
+
+    f_like: int = 10
+    wup_view_size: int | None = None
+    rps_view_size: int = 30
+    beep_ttl: int = 4
+    f_dislike: int = 1
+    profile_window: int = 13
+    similarity: str = "wup"
+    rps_every: int = 1
+    wup_every: int = 1
+    cycle_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.f_like <= 0:
+            raise ConfigurationError(f"f_like must be > 0, got {self.f_like}")
+        if self.rps_view_size <= 0:
+            raise ConfigurationError(
+                f"rps_view_size must be > 0, got {self.rps_view_size}"
+            )
+        if self.beep_ttl < 0:
+            raise ConfigurationError(
+                f"beep_ttl must be >= 0, got {self.beep_ttl}"
+            )
+        if self.f_dislike < 0:
+            raise ConfigurationError(
+                f"f_dislike must be >= 0, got {self.f_dislike}"
+            )
+        if self.profile_window <= 0:
+            raise ConfigurationError(
+                f"profile_window must be > 0, got {self.profile_window}"
+            )
+        if self.rps_every <= 0 or self.wup_every <= 0:
+            raise ConfigurationError("gossip periods must be > 0")
+        if self.cycle_seconds <= 0:
+            raise ConfigurationError(
+                f"cycle_seconds must be > 0, got {self.cycle_seconds}"
+            )
+        if self.similarity.lower() not in available_metrics():
+            raise ConfigurationError(
+                f"unknown similarity {self.similarity!r}; "
+                f"available: {available_metrics()}"
+            )
+        if self.wup_view_size is not None and self.wup_view_size < self.f_like:
+            # the paper: WUPvs "must be at least as large as" fLIKE
+            raise ConfigurationError(
+                f"wup_view_size ({self.wup_view_size}) must be >= f_like "
+                f"({self.f_like})"
+            )
+
+    @property
+    def effective_wup_view_size(self) -> int:
+        """The WUP view capacity actually used (``2·fLIKE`` default)."""
+        return (
+            self.wup_view_size
+            if self.wup_view_size is not None
+            else 2 * self.f_like
+        )
+
+    def with_fanout(self, f_like: int) -> "WhatsUpConfig":
+        """A copy at a different like fanout (sweep helper).
+
+        Keeps ``wup_view_size`` tied to the new fanout when it was
+        defaulted.
+        """
+        return replace(self, f_like=f_like)
+
+    def with_metric(self, similarity: str) -> "WhatsUpConfig":
+        """A copy using another similarity metric (WHATSUP-Cos, ablations)."""
+        return replace(self, similarity=similarity)
+
+    def table2_rows(self) -> list[tuple[str, str, str]]:
+        """The Table II rows (parameter, description, value)."""
+        return [
+            ("RPSvs", "Size of the random sample", str(self.rps_view_size)),
+            ("RPSf", "Frequency of gossip in the RPS", f"{self.rps_every} cycle(s)"),
+            ("WUPvs", "Size of the social network", f"{self.effective_wup_view_size} (2·fLIKE)"),
+            ("Profile window", "News item TTL", f"{self.profile_window} cycles"),
+            ("BEEP TTL", "Dissemination TTL for dislike", str(self.beep_ttl)),
+        ]

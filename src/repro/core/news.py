@@ -1,0 +1,128 @@
+"""News items and their circulating copies (paper Section II-A).
+
+A news item consists of a title, a short description and a link.  The
+publisher stamps it with a creation time and a **dislike counter** initialised
+to zero, which BEEP increments every time a node that dislikes the item
+forwards it anyway (the serendipity mechanism, Algorithm 2 line 26).  Nodes
+identify items by an 8-byte hash recomputed locally
+(:func:`repro.utils.hashing.item_digest`).
+
+Two classes model this:
+
+* :class:`NewsItem` — the immutable published object, shared by every copy;
+* :class:`ItemCopy` — one copy in flight, carrying its own item profile and
+  dislike counter.  Forwarding clones the copy so that divergent paths evolve
+  divergent profiles, exactly as serialized network messages would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.profiles import ItemProfile
+from repro.utils.hashing import item_digest
+
+__all__ = ["NewsItem", "ItemCopy", "ITEM_HEADER_BYTES", "PROFILE_ENTRY_BYTES"]
+
+#: Modelled wire size of an item header: the 8-byte id is *not* transmitted
+#: (recomputed), but the copy ships a timestamp (8), a dislike counter (1),
+#: and the human-readable payload — title (~80 B), short description
+#: (~400 B) and link (~120 B), per Section II-A's item anatomy.
+ITEM_HEADER_BYTES = 8 + 1 + 600
+
+#: Modelled wire size of one profile entry: 8-byte identifier + 8-byte
+#: timestamp + 8-byte score.
+PROFILE_ENTRY_BYTES = 8 + 8 + 8
+
+
+@dataclass(frozen=True)
+class NewsItem:
+    """An immutable published news item.
+
+    Attributes
+    ----------
+    item_id:
+        The 8-byte identifier (derived hash; see Section II-A).
+    source:
+        Node id of the publisher.
+    created_at:
+        Publication timestamp (simulation cycle).
+    topic:
+        Workload-level ground-truth tag (community index, Digg category or
+        survey topic).  Carried for evaluation only — the protocols never
+        read it; the paper's system is content-agnostic.
+    title / description / link:
+        Human-readable payload (size-modelled on the wire).
+    """
+
+    item_id: int
+    source: int
+    created_at: int
+    topic: int = -1
+    title: str = ""
+    description: str = ""
+    link: str = ""
+
+    @staticmethod
+    def publish(
+        source: int,
+        created_at: int,
+        *,
+        topic: int = -1,
+        title: str | None = None,
+        description: str = "",
+        link: str = "",
+    ) -> "NewsItem":
+        """Create a news item, deriving its identifier from its fields."""
+        if title is None:
+            title = f"news-by-{source}-at-{created_at}"
+        iid = item_digest(title, source, created_at)
+        return NewsItem(
+            item_id=iid,
+            source=source,
+            created_at=created_at,
+            topic=topic,
+            title=title,
+            description=description,
+            link=link,
+        )
+
+
+@dataclass
+class ItemCopy:
+    """One copy of a news item in flight.
+
+    Attributes
+    ----------
+    item:
+        The shared immutable :class:`NewsItem`.
+    profile:
+        This copy's item profile ``P^I`` (path-dependent; Algorithm 1).
+    dislikes:
+        The dislike counter ``d_I`` (bounded by the BEEP TTL).
+    hops:
+        Number of forwarding hops from the source to this copy.  Not part of
+        the paper's wire format — we track it for the Figure 6 analysis.
+    """
+
+    item: NewsItem
+    profile: ItemProfile = field(default_factory=ItemProfile)
+    dislikes: int = 0
+    hops: int = 0
+
+    def clone_for_forward(self) -> "ItemCopy":
+        """Clone this copy for transmission to one more target.
+
+        The clone's profile is an independent deep copy (divergent paths →
+        divergent profiles) and its hop count is one greater.
+        """
+        return ItemCopy(
+            item=self.item,
+            profile=self.profile.copy(),
+            dislikes=self.dislikes,
+            hops=self.hops + 1,
+        )
+
+    def wire_size(self) -> int:
+        """Modelled serialized size in bytes (header + item profile)."""
+        return ITEM_HEADER_BYTES + PROFILE_ENTRY_BYTES * len(self.profile)

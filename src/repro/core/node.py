@@ -1,0 +1,206 @@
+"""The WHATSUP node: WUP + BEEP + the user's opinion loop.
+
+Ties together everything the paper's Figure 1 sketches: the user's
+like/dislike opinions feed the user profile (Algorithm 1), the profile
+feeds WUP's implicit social network (Section II), and BEEP disseminates
+items over that network (Algorithm 2, Section III).
+
+A node owns:
+
+* its user profile ``P̃`` (binary opinions, window-purged);
+* an RPS protocol instance (random overlay, view size 30);
+* a WUP clustering instance (similar-peer overlay, view size 2·fLIKE);
+* a BEEP forwarder (amplification + orientation);
+* the SIR "seen" set (duplicate receipts are dropped).
+
+The like/dislike decision is delegated to an *opinion oracle* — in
+experiments this is the dataset's ground-truth matrix, standing in for the
+human behind the paper's web widget.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.beep import BeepForwarder
+from repro.core.config import WhatsUpConfig
+from repro.core.news import ItemCopy, NewsItem
+from repro.core.profiles import ItemProfile, UserProfile
+from repro.core.similarity import get_metric
+from repro.gossip.rps import RpsProtocol
+from repro.gossip.vicinity import ClusteringProtocol
+from repro.network.message import MessageKind
+from repro.simulation.node import BaseNode
+from repro.utils.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.engine import CycleEngine
+
+__all__ = ["WhatsUpNode", "OpinionFn"]
+
+#: ``oracle(node_id, item) -> liked?`` — the simulated user's click.
+OpinionFn = Callable[[int, NewsItem], bool]
+
+
+class WhatsUpNode(BaseNode):
+    """One WHATSUP participant.
+
+    Parameters
+    ----------
+    node_id:
+        The node's identifier (the dataset's user index).
+    config:
+        Protocol parameters (Table II).
+    opinion:
+        The opinion oracle consulted on first receipt of each item.
+    streams:
+        The experiment's root randomness; the node derives its private
+        ``rps``/``wup``/``beep`` streams from it, so runs are reproducible
+        and nodes are statistically independent.
+    """
+
+    __slots__ = ("config", "opinion", "profile", "rps", "wup", "beep", "seen")
+
+    def __init__(
+        self,
+        node_id: int,
+        config: WhatsUpConfig,
+        opinion: OpinionFn,
+        streams: RngStreams,
+    ) -> None:
+        super().__init__(node_id)
+        self.config = config
+        self.opinion = opinion
+        self.profile = UserProfile()
+        metric = get_metric(config.similarity)
+        self.rps = RpsProtocol(
+            node_id,
+            config.rps_view_size,
+            streams.fresh(f"node-{node_id}-rps"),
+        )
+        self.wup = ClusteringProtocol(
+            node_id,
+            config.effective_wup_view_size,
+            metric,
+            streams.fresh(f"node-{node_id}-wup"),
+        )
+        self.beep = BeepForwarder(
+            config, metric, streams.fresh(f"node-{node_id}-beep")
+        )
+        self.seen: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # gossip maintenance                                                   #
+    # ------------------------------------------------------------------ #
+
+    def public_profile(self):
+        """The profile snapshot *shared with other nodes* via gossip.
+
+        Subclasses may override this to disclose a distorted view of the
+        user's opinions (see :mod:`repro.privacy.obfuscation`); the node's
+        own similarity rankings always use the true profile.
+        """
+        return self.profile.snapshot()
+
+    def begin_cycle(self, engine: "CycleEngine", now: int) -> None:
+        """Purge the profile window, then run RPS and WUP exchanges."""
+        window_start = now - self.config.profile_window
+        if window_start > 0:
+            self.profile.purge_older_than(window_start)
+
+        shared = self.public_profile()
+        if now % self.config.rps_every == 0:
+            started = self.rps.initiate(shared, now)
+            if started is not None:
+                partner, msg = started
+                engine.gossip(self.node_id, partner, msg, MessageKind.RPS)
+        if now % self.config.wup_every == 0:
+            started = self.wup.initiate(
+                shared, now, ranking_profile=self.profile.snapshot()
+            )
+            if started is not None:
+                partner, msg = started
+                engine.gossip(self.node_id, partner, msg, MessageKind.WUP)
+
+    def on_gossip(
+        self,
+        msg: object,
+        kind: MessageKind,
+        engine: "CycleEngine",
+        now: int,
+    ) -> object | None:
+        shared = self.public_profile()
+        if kind is MessageKind.RPS:
+            return self.rps.handle(msg, shared, now)
+        if kind is MessageKind.WUP:
+            # Vicinity feeds on the RPS view for fresh candidates; the view
+            # is ranked against the node's *true* interests
+            return self.wup.handle(
+                msg,
+                shared,
+                now,
+                rps_entries=self.rps.view.entries(),
+                ranking_profile=self.profile.snapshot(),
+            )
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1: receiving / generating an item                          #
+    # ------------------------------------------------------------------ #
+
+    def receive_item(
+        self,
+        copy: ItemCopy,
+        via_like: bool,
+        engine: "CycleEngine",
+        now: int,
+    ) -> None:
+        item = copy.item
+        if item.item_id in self.seen:
+            engine.log_duplicate()  # SIR: already infected/removed
+            return
+        self.seen.add(item.item_id)
+
+        liked = bool(self.opinion(self.node_id, item))
+        if liked:
+            # lines 2-5: fold the *pre-update* user profile into the item
+            # profile, then record the like
+            copy.profile.integrate(self.profile)
+            self.profile.record_opinion(item.item_id, item.created_at, True)
+        else:
+            # line 7
+            self.profile.record_opinion(item.item_id, item.created_at, False)
+
+        # lines 8-10: purge old entries from the item profile
+        window_start = now - self.config.profile_window
+        if window_start > 0:
+            copy.profile.purge_older_than(window_start)
+
+        engine.log_delivery(self.node_id, copy, liked, via_like)
+
+        # line 11: hand over to BEEP
+        self.beep.forward(
+            self.node_id, copy, liked, self.wup.view, self.rps.view, engine
+        )
+
+    def publish(self, item: NewsItem, engine: "CycleEngine", now: int) -> None:
+        """Algorithm 1, ``generateNewsItem``: the source's own path."""
+        self.seen.add(item.item_id)
+        # line 14: the source likes its own item *before* building the item
+        # profile, so the fresh item profile includes the item itself
+        self.profile.record_opinion(item.item_id, item.created_at, True)
+        profile = ItemProfile()
+        profile.integrate(self.profile)  # lines 15-16
+        copy = ItemCopy(item=item, profile=profile, dislikes=0, hops=0)
+
+        engine.log_delivery(self.node_id, copy, liked=True, via_like=True)
+        # line 17: BEEP.forward — the source liked it, so the like path runs
+        self.beep.forward(
+            self.node_id, copy, True, self.wup.view, self.rps.view, engine
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WhatsUpNode(id={self.node_id}, profile={len(self.profile)}, "
+            f"rps={len(self.rps.view)}, wup={len(self.wup.view)})"
+        )

@@ -1,0 +1,291 @@
+"""User and item interest profiles (paper Section II-B/II-C).
+
+A *profile* is a set of triplets ``<identifier, timestamp, score>`` with at
+most one entry per item identifier:
+
+* a **user profile** (the paper's ``P̃``) records the node's own opinions;
+  scores are binary — ``1`` for *like*, ``0`` for *dislike*;
+* an **item profile** (the paper's ``P^I``) travels with each circulating
+  copy of a news item and aggregates, by score averaging, the user profiles
+  of the nodes that liked the item along that copy's dissemination path
+  (Algorithm 1, ``addToNewsProfile``).  Scores are reals in ``[0, 1]``.
+
+Both kinds are purged of entries older than the *profile window*
+(Section II-E), which keeps similarity focused on current interests and
+makes inactive users look like fresh joiners.
+
+Performance notes
+-----------------
+Similarity computations (``repro.core.similarity``) dominate the simulation's
+run time, so profiles maintain, incrementally:
+
+* ``liked`` — the set of identifiers with a strictly positive score (for a
+  binary profile, exactly the liked items);
+* ``norm`` — the Euclidean norm of the score vector, cached and invalidated
+  on mutation.
+
+User profiles additionally expose :meth:`UserProfile.snapshot`, a cheap
+immutable copy (memoised per mutation-version) that gossip messages carry,
+mirroring the profile field of view entries in the paper's protocols.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+from typing import NamedTuple
+
+__all__ = ["ProfileEntry", "Profile", "UserProfile", "ItemProfile", "FrozenProfile"]
+
+
+class ProfileEntry(NamedTuple):
+    """One ``<identifier, timestamp, score>`` triplet of a profile."""
+
+    item_id: int
+    timestamp: int
+    score: float
+
+
+class Profile:
+    """Mutable mapping from item identifier to ``(timestamp, score)``.
+
+    This is the common machinery shared by :class:`UserProfile` and
+    :class:`ItemProfile`; it is rarely instantiated directly.
+    """
+
+    __slots__ = ("_scores", "_timestamps", "_liked", "_norm2", "_version")
+
+    #: Whether scores are guaranteed binary (0/1).  Similarity metrics use
+    #: this to select a set-algebra fast path.
+    is_binary = False
+
+    def __init__(self, entries: Iterable[ProfileEntry] = ()) -> None:
+        self._scores: dict[int, float] = {}
+        self._timestamps: dict[int, int] = {}
+        self._liked: set[int] = set()
+        self._norm2: float = 0.0
+        self._version: int = 0
+        for entry in entries:
+            self.set(entry.item_id, entry.timestamp, entry.score)
+
+    # -- mutation ---------------------------------------------------------
+
+    def set(self, item_id: int, timestamp: int, score: float) -> None:
+        """Insert or replace the entry for *item_id*.
+
+        A profile holds a single entry per identifier (Section II-B); setting
+        an existing identifier overwrites its timestamp and score.
+        """
+        old = self._scores.get(item_id)
+        if old is not None:
+            self._norm2 -= old * old
+            if old > 0.0:
+                self._liked.discard(item_id)
+        self._scores[item_id] = score
+        self._timestamps[item_id] = timestamp
+        self._norm2 += score * score
+        if score > 0.0:
+            self._liked.add(item_id)
+        self._version += 1
+
+    def remove(self, item_id: int) -> None:
+        """Drop the entry for *item_id* (no-op if absent)."""
+        old = self._scores.pop(item_id, None)
+        if old is None:
+            return
+        del self._timestamps[item_id]
+        self._norm2 -= old * old
+        if self._norm2 < 0.0:  # float drift guard
+            self._norm2 = 0.0
+        if old > 0.0:
+            self._liked.discard(item_id)
+        self._version += 1
+
+    def purge_older_than(self, cutoff: int) -> int:
+        """Remove all entries with ``timestamp < cutoff``.
+
+        Implements the profile-window cleaning of Section II-E (user
+        profiles, periodic) and Algorithm 1 lines 8-10 (item profiles, before
+        forwarding).
+
+        Returns
+        -------
+        int
+            The number of entries removed.
+        """
+        stale = [iid for iid, ts in self._timestamps.items() if ts < cutoff]
+        for iid in stale:
+            self.remove(iid)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        self._scores.clear()
+        self._timestamps.clear()
+        self._liked.clear()
+        self._norm2 = 0.0
+        self._version += 1
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def scores(self) -> dict[int, float]:
+        """Identifier → score mapping (do not mutate directly)."""
+        return self._scores
+
+    @property
+    def liked(self) -> set[int]:
+        """Identifiers with a strictly positive score."""
+        return self._liked
+
+    @property
+    def norm(self) -> float:
+        """Euclidean norm of the score vector, ``‖P‖``."""
+        return math.sqrt(self._norm2) if self._norm2 > 0.0 else 0.0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; increases on every change."""
+        return self._version
+
+    def score_of(self, item_id: int) -> float | None:
+        """Score for *item_id*, or ``None`` when the item is unrated."""
+        return self._scores.get(item_id)
+
+    def timestamp_of(self, item_id: int) -> int | None:
+        """Timestamp for *item_id*, or ``None`` when the item is unrated."""
+        return self._timestamps.get(item_id)
+
+    def entries(self) -> Iterator[ProfileEntry]:
+        """Iterate over the profile's triplets (arbitrary order)."""
+        for iid, score in self._scores.items():
+            yield ProfileEntry(iid, self._timestamps[iid], score)
+
+    def __contains__(self, item_id: int) -> bool:
+        return item_id in self._scores
+
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(n={len(self)}, liked={len(self._liked)})"
+
+
+class FrozenProfile:
+    """An immutable, hashable snapshot of a profile at a point in time.
+
+    Gossip messages in the paper carry node profiles inside view entries.
+    Simulated messages carry :class:`FrozenProfile` objects: they preserve
+    the profile's state at send time even if the owner keeps rating items,
+    and they precompute the sets and norm the similarity metrics need.
+    """
+
+    __slots__ = ("scores", "liked", "rated", "norm", "is_binary")
+
+    def __init__(self, scores: dict[int, float], *, is_binary: bool) -> None:
+        self.scores: dict[int, float] = dict(scores)
+        self.liked: frozenset[int] = frozenset(
+            iid for iid, s in scores.items() if s > 0.0
+        )
+        self.rated: frozenset[int] = frozenset(scores)
+        norm2 = 0.0
+        for s in scores.values():
+            norm2 += s * s
+        self.norm: float = math.sqrt(norm2) if norm2 > 0.0 else 0.0
+        self.is_binary: bool = is_binary
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrozenProfile(n={len(self.scores)}, liked={len(self.liked)})"
+
+
+class UserProfile(Profile):
+    """A node's own opinion record ``P̃`` (binary scores).
+
+    Updated when the user clicks like/dislike on a received item (Algorithm 1
+    lines 5 and 7) or publishes an item (line 14).
+    """
+
+    __slots__ = ("_snapshot", "_snapshot_version")
+
+    is_binary = True
+
+    def __init__(self, entries: Iterable[ProfileEntry] = ()) -> None:
+        super().__init__(entries)
+        self._snapshot: FrozenProfile | None = None
+        self._snapshot_version: int = -1
+
+    def record_opinion(self, item_id: int, timestamp: int, liked: bool) -> None:
+        """Record the user's opinion on an item.
+
+        Parameters
+        ----------
+        item_id:
+            The item's 8-byte identifier.
+        timestamp:
+            The item's creation timestamp (profile entries age by *item*
+            time, so purging drops old *news*, not old *opinions*).
+        liked:
+            ``True`` → score 1 (like); ``False`` → score 0 (dislike).
+        """
+        self.set(item_id, timestamp, 1.0 if liked else 0.0)
+
+    @property
+    def rated(self) -> set[int]:
+        """All identifiers the user has expressed an opinion on."""
+        return set(self._scores)
+
+    def snapshot(self) -> FrozenProfile:
+        """Return an immutable snapshot (memoised per mutation version)."""
+        if self._snapshot is None or self._snapshot_version != self._version:
+            self._snapshot = FrozenProfile(self._scores, is_binary=True)
+            self._snapshot_version = self._version
+        return self._snapshot
+
+
+class ItemProfile(Profile):
+    """The community profile ``P^I`` carried by a circulating item copy.
+
+    Two copies of the same item travelling along different paths have
+    *different* item profiles: each reflects the interests of the portion of
+    the network its copy traversed (Section II-B).
+    """
+
+    __slots__ = ()
+
+    def integrate(self, user_profile: Profile) -> None:
+        """Fold a liker's user profile into this item profile.
+
+        Implements Algorithm 1's loop over the user profile (lines 3-4 /
+        15-16) with ``addToNewsProfile`` (lines 18-22): for each tuple of the
+        user profile, average with the existing score when the identifier is
+        already present, otherwise insert the user's tuple.
+        """
+        for iid, s_n in user_profile.scores.items():
+            ts = user_profile.timestamp_of(iid)
+            existing = self._scores.get(iid)
+            if existing is not None:
+                # average, keeping the freshest timestamp so the entry ages
+                # from its latest sighting
+                old_ts = self._timestamps[iid]
+                new_ts = ts if ts is not None and ts > old_ts else old_ts
+                self.set(iid, new_ts, (existing + s_n) / 2.0)
+            else:
+                assert ts is not None
+                self.set(iid, ts, s_n)
+
+    def copy(self) -> "ItemProfile":
+        """Deep-copy the profile (a forwarded copy evolves independently)."""
+        clone = ItemProfile()
+        clone._scores = dict(self._scores)
+        clone._timestamps = dict(self._timestamps)
+        clone._liked = set(self._liked)
+        clone._norm2 = self._norm2
+        clone._version = 0
+        return clone
+
+    def freeze(self) -> FrozenProfile:
+        """Immutable snapshot (used by similarity-ranking code paths)."""
+        return FrozenProfile(self._scores, is_binary=False)

@@ -1,0 +1,340 @@
+"""Interest-similarity metrics (paper Section II and Section V-A).
+
+The paper's central algorithmic contribution is an **asymmetric variant of
+cosine similarity**:
+
+.. math::
+
+    \\mathrm{Similarity}(n, c) =
+        \\frac{sub(P_n, P_c) \\cdot P_c}
+             {\\lVert sub(P_n, P_c) \\rVert \\; \\lVert P_c \\rVert}
+
+where :math:`sub(P_n, P_c)` restricts node *n*'s profile to the items that
+appear (with any score) in candidate *c*'s profile.  For the binary user
+profiles of WHATSUP this reads:
+
+* numerator — the number of items **liked by both** *n* and *c*;
+* first denominator factor — the square root of the number of items liked by
+  *n* **on which c expressed any opinion** (so a candidate that *dislikes*
+  what *n* likes is penalised — spam aversion);
+* second factor — the square root of the number of items liked by *c*
+  (favouring candidates with small, selective profiles — which is what makes
+  cold-starting nodes attractive neighbours, Section II-D).
+
+This module implements that metric, the classical cosine baseline the paper
+compares against, and two extra set metrics (Jaccard, overlap) used by our
+ablation benchmarks.  It also provides vectorised all-pairs forms used by the
+centralized baselines (C-WHATSUP) and the sociability/popularity analyses.
+
+All scalar metrics share the signature ``metric(p_n, p_c) -> float`` where
+both arguments are *profile-like*: any object exposing ``scores`` (id→score
+mapping), ``liked`` (set of ids with positive score) and ``norm`` (Euclidean
+norm).  :class:`repro.core.profiles.Profile` and
+:class:`repro.core.profiles.FrozenProfile` both qualify.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "ProfileLike",
+    "wup_similarity",
+    "cosine_similarity",
+    "jaccard_similarity",
+    "overlap_similarity",
+    "get_metric",
+    "available_metrics",
+    "pairwise_cosine",
+    "pairwise_wup",
+    "similarity_matrix",
+]
+
+
+@runtime_checkable
+class ProfileLike(Protocol):
+    """Structural type accepted by every scalar similarity metric."""
+
+    @property
+    def scores(self) -> dict[int, float]: ...  # noqa: E704 - protocol stub
+
+    @property
+    def liked(self) -> "frozenset[int] | set[int]": ...  # noqa: E704
+
+    @property
+    def norm(self) -> float: ...  # noqa: E704
+
+
+def _rated_ids(profile: ProfileLike):
+    """The identifiers a profile has *any* opinion on (likes and dislikes)."""
+    rated = getattr(profile, "rated", None)
+    if isinstance(rated, frozenset):
+        # FrozenProfile precomputes this; mutable profiles expose a live
+        # keys view instead (avoids copying in the hot path).
+        return rated
+    return profile.scores.keys()
+
+
+def _is_binary(profile: ProfileLike) -> bool:
+    flag = getattr(profile, "is_binary", None)
+    return bool(flag)
+
+
+def wup_similarity(p_n: ProfileLike, p_c: ProfileLike) -> float:
+    """The paper's asymmetric WUP metric, ``Similarity(n, c)``.
+
+    Parameters
+    ----------
+    p_n:
+        The profile of the node *doing the choosing* (the view owner in WUP,
+        or the candidate node in BEEP's dislike orientation).
+    p_c:
+        The candidate profile being scored (a peer's user profile in WUP; an
+        item profile in BEEP orientation).
+
+    Returns
+    -------
+    float
+        A value in ``[0, 1]``; ``0`` when either profile is empty or the
+        profiles share no liked item.
+
+    Notes
+    -----
+    The metric is **asymmetric**: ``wup_similarity(a, b)`` generally differs
+    from ``wup_similarity(b, a)``.  The paper argues this fits push-style
+    dissemination, where users choose the next hops of items but have no
+    control over who sends items to them.
+    """
+    norm_c = p_c.norm
+    if norm_c == 0.0:
+        return 0.0
+    if _is_binary(p_n) and _is_binary(p_c):
+        # Binary fast path (user-profile vs user-profile): pure set algebra.
+        liked_n = p_n.liked
+        if not liked_n:
+            return 0.0
+        common_liked = len(liked_n & p_c.liked)
+        if common_liked == 0:
+            return 0.0
+        sub_norm2 = len(liked_n & _rated_ids(p_c))
+        return common_liked / (math.sqrt(sub_norm2) * norm_c)
+
+    # General path (real-valued scores, e.g. item profiles).
+    scores_n = p_n.scores
+    scores_c = p_c.scores
+    if not scores_n or not scores_c:
+        return 0.0
+    dot = 0.0
+    sub_norm2 = 0.0
+    if len(scores_n) <= len(scores_c):
+        for iid, s_n in scores_n.items():
+            s_c = scores_c.get(iid)
+            if s_c is not None:
+                dot += s_n * s_c
+                sub_norm2 += s_n * s_n
+    else:
+        for iid, s_c in scores_c.items():
+            s_n = scores_n.get(iid)
+            if s_n is not None:
+                dot += s_n * s_c
+                sub_norm2 += s_n * s_n
+    if dot == 0.0 or sub_norm2 == 0.0:
+        return 0.0
+    return dot / (math.sqrt(sub_norm2) * norm_c)
+
+
+def cosine_similarity(p_n: ProfileLike, p_c: ProfileLike) -> float:
+    """Classical cosine similarity between two profiles.
+
+    The baseline metric from Tan et al. that the paper compares against
+    (CF-Cos, WHATSUP-Cos).  Symmetric; ``0`` when either profile is empty.
+    """
+    norm_n = p_n.norm
+    norm_c = p_c.norm
+    if norm_n == 0.0 or norm_c == 0.0:
+        return 0.0
+    if _is_binary(p_n) and _is_binary(p_c):
+        common = len(p_n.liked & p_c.liked)
+        if common == 0:
+            return 0.0
+        return common / (norm_n * norm_c)
+    scores_n = p_n.scores
+    scores_c = p_c.scores
+    if len(scores_n) > len(scores_c):
+        scores_n, scores_c = scores_c, scores_n
+    dot = 0.0
+    for iid, s_a in scores_n.items():
+        s_b = scores_c.get(iid)
+        if s_b is not None:
+            dot += s_a * s_b
+    if dot == 0.0:
+        return 0.0
+    return dot / (norm_n * norm_c)
+
+
+def jaccard_similarity(p_n: ProfileLike, p_c: ProfileLike) -> float:
+    """Jaccard index of the two profiles' *liked* sets.
+
+    Not used by WHATSUP itself; included for the metric-ablation benchmark
+    (the paper's related work discusses Jaccard as a common CF metric).
+    """
+    liked_n = p_n.liked
+    liked_c = p_c.liked
+    if not liked_n or not liked_c:
+        return 0.0
+    inter = len(liked_n & liked_c)
+    if inter == 0:
+        return 0.0
+    union = len(liked_n) + len(liked_c) - inter
+    return inter / union
+
+
+def overlap_similarity(p_n: ProfileLike, p_c: ProfileLike) -> float:
+    """Overlap (Szymkiewicz–Simpson) coefficient of the liked sets."""
+    liked_n = p_n.liked
+    liked_c = p_c.liked
+    if not liked_n or not liked_c:
+        return 0.0
+    inter = len(liked_n & liked_c)
+    if inter == 0:
+        return 0.0
+    return inter / min(len(liked_n), len(liked_c))
+
+
+MetricFn = Callable[[ProfileLike, ProfileLike], float]
+
+_METRICS: dict[str, MetricFn] = {
+    "wup": wup_similarity,
+    "cosine": cosine_similarity,
+    "jaccard": jaccard_similarity,
+    "overlap": overlap_similarity,
+}
+
+
+def get_metric(name: str) -> MetricFn:
+    """Look up a similarity metric by name.
+
+    Parameters
+    ----------
+    name:
+        One of ``"wup"``, ``"cosine"``, ``"jaccard"``, ``"overlap"``
+        (case-insensitive).
+
+    Raises
+    ------
+    ConfigurationError
+        If the name is unknown.
+    """
+    try:
+        return _METRICS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown similarity metric {name!r}; "
+            f"available: {sorted(_METRICS)}"
+        ) from None
+
+
+def available_metrics() -> list[str]:
+    """Names of all registered similarity metrics."""
+    return sorted(_METRICS)
+
+
+# ---------------------------------------------------------------------------
+# Vectorised all-pairs forms (centralized baselines & analyses)
+# ---------------------------------------------------------------------------
+
+
+def pairwise_cosine(likes: np.ndarray) -> np.ndarray:
+    """All-pairs binary cosine similarity.
+
+    Parameters
+    ----------
+    likes:
+        Boolean array of shape ``(n_users, n_items)``; ``likes[u, i]`` is
+        true when user *u* likes item *i*.
+
+    Returns
+    -------
+    numpy.ndarray
+        Dense ``(n_users, n_users)`` matrix with
+        ``S[a, b] = |L_a ∩ L_b| / sqrt(|L_a| |L_b|)`` and zero rows/columns
+        for users with empty profiles.  The diagonal is *not* zeroed.
+    """
+    mat = np.asarray(likes, dtype=np.float64)
+    common = mat @ mat.T
+    counts = mat.sum(axis=1)
+    denom = np.sqrt(np.outer(counts, counts))
+    out = np.zeros_like(common)
+    np.divide(common, denom, out=out, where=denom > 0)
+    return out
+
+
+def pairwise_wup(likes: np.ndarray, rated: np.ndarray) -> np.ndarray:
+    """All-pairs binary WUP similarity.
+
+    Parameters
+    ----------
+    likes:
+        Boolean ``(n_users, n_items)`` like matrix.
+    rated:
+        Boolean ``(n_users, n_items)`` rated matrix (likes *and* dislikes).
+        Must be a superset of *likes* element-wise.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``S[n, c] = |L_n ∩ L_c| / (sqrt(|L_n ∩ R_c|) · sqrt(|L_c|))`` — the
+        matrix form of :func:`wup_similarity` for binary profiles.  Rows are
+        the "chooser" *n*, columns the candidate *c*.
+    """
+    lmat = np.asarray(likes, dtype=np.float64)
+    rmat = np.asarray(rated, dtype=np.float64)
+    if lmat.shape != rmat.shape:
+        raise ConfigurationError(
+            f"likes shape {lmat.shape} != rated shape {rmat.shape}"
+        )
+    common_likes = lmat @ lmat.T  # |L_n ∩ L_c|
+    liked_rated = lmat @ rmat.T  # |L_n ∩ R_c|  (row n, column c)
+    liked_counts = lmat.sum(axis=1)  # |L_c| per candidate column
+    denom = np.sqrt(liked_rated) * np.sqrt(liked_counts)[None, :]
+    out = np.zeros_like(common_likes)
+    np.divide(common_likes, denom, out=out, where=denom > 0)
+    return out
+
+
+def similarity_matrix(
+    likes: np.ndarray,
+    rated: np.ndarray,
+    metric: str = "wup",
+) -> np.ndarray:
+    """All-pairs similarity by metric name (vectorised where possible).
+
+    ``"wup"`` and ``"cosine"`` use the dense matrix forms above; the set
+    metrics fall back to a vectorised formulation over the like matrix.
+    """
+    name = metric.lower()
+    if name == "wup":
+        return pairwise_wup(likes, rated)
+    if name == "cosine":
+        return pairwise_cosine(likes)
+    lmat = np.asarray(likes, dtype=np.float64)
+    inter = lmat @ lmat.T
+    counts = lmat.sum(axis=1)
+    if name == "jaccard":
+        union = counts[:, None] + counts[None, :] - inter
+        out = np.zeros_like(inter)
+        np.divide(inter, union, out=out, where=union > 0)
+        return out
+    if name == "overlap":
+        mins = np.minimum(counts[:, None], counts[None, :])
+        out = np.zeros_like(inter)
+        np.divide(inter, mins, out=out, where=mins > 0)
+        return out
+    raise ConfigurationError(
+        f"unknown similarity metric {metric!r}; available: {available_metrics()}"
+    )

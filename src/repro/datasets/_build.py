@@ -1,0 +1,86 @@
+"""Internal helpers shared by the dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.news import NewsItem
+from repro.simulation.schedule import PublicationSchedule
+from repro.utils.exceptions import DatasetError
+
+__all__ = ["ensure_items_liked", "finalize_items"]
+
+
+def ensure_items_liked(likes: np.ndarray, rng: np.random.Generator) -> None:
+    """Guarantee every item has at least one interested user (in place).
+
+    Every published item needs a source, and sources like their own items
+    (Algorithm 1 line 14), so an item nobody likes could not exist in the
+    paper's workloads.  For generator parameter corners that produce such
+    columns, we assign one uniformly random fan.
+    """
+    empty = np.flatnonzero(likes.sum(axis=0) == 0)
+    for col in empty:
+        likes[int(rng.integers(likes.shape[0])), col] = True
+
+
+def finalize_items(
+    name: str,
+    topics: np.ndarray,
+    likes: np.ndarray,
+    publish_cycles: int,
+    rng: np.random.Generator,
+) -> tuple[list[NewsItem], np.ndarray]:
+    """Turn a raw like matrix into a publication-ready item list.
+
+    Shuffles item order (so topics interleave over time, as in a live news
+    stream), assigns publication cycles uniformly over
+    ``[0, publish_cycles)``, and picks each item's source uniformly among
+    its interested users.
+
+    Parameters
+    ----------
+    name:
+        Workload name, used in item titles.
+    topics:
+        Per-item topic ids aligned with *likes* columns.
+    likes:
+        Boolean ``(n_users, n_items)`` matrix; columns are permuted in the
+        returned copy to match the shuffled item order.
+    publish_cycles:
+        Publication window length.
+    rng:
+        Generator driving the shuffle and source choices.
+
+    Returns
+    -------
+    (items, likes):
+        The item list in publication order and the column-permuted matrix.
+    """
+    n_items = likes.shape[1]
+    if len(topics) != n_items:
+        raise DatasetError(
+            f"topics length {len(topics)} != item count {n_items}"
+        )
+    order = rng.permutation(n_items)
+    likes = likes[:, order]
+    topics = topics[order]
+
+    items: list[NewsItem] = []
+    for idx in range(n_items):
+        fans = np.flatnonzero(likes[:, idx])
+        if len(fans) == 0:
+            raise DatasetError(f"item {idx} has no interested user")
+        source = int(fans[rng.integers(len(fans))])
+        cycle = PublicationSchedule.publication_cycle_of(
+            idx, n_items, publish_cycles
+        )
+        items.append(
+            NewsItem.publish(
+                source=source,
+                created_at=cycle,
+                topic=int(topics[idx]),
+                title=f"{name}-item-{idx}",
+            )
+        )
+    return items, likes

@@ -1,0 +1,161 @@
+"""Interest-drift workload: user tastes evolve during the run.
+
+The paper motivates the profile window as "the reactivity of the system
+with respect to user interests" (§II-E) and reports that windows between
+1/5 and 2/5 of the run length maximise F1, with larger windows making the
+system "not dynamic enough" (§IV-D).  On a *static* workload that upper
+branch cannot appear — old opinions never go stale — so the window ablation
+needs a workload whose ground truth actually moves.
+
+:func:`drifting_survey_dataset` splits the run into ``n_phases`` equal
+publication phases.  Users start from taste-group focus sets (as in
+:func:`~repro.datasets.survey.survey_dataset`) and, at every phase
+boundary, each user independently *drops* each focus topic with probability
+``drift`` and replaces it with a random other topic — gradual interest
+drift, the realistic version of Figure 7's swap upper bound.  An item's
+ground-truth audience is defined by the focus sets of the phase it is
+published in: exactly what its receivers would click at that time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets._build import ensure_items_liked, finalize_items
+from repro.datasets.base import Dataset
+from repro.datasets.digg import zipf_weights
+from repro.utils.exceptions import DatasetError
+from repro.utils.rng import spawn_generator
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["drifting_survey_dataset"]
+
+
+def drifting_survey_dataset(
+    n_base_users: int = 120,
+    n_base_items: int = 300,
+    *,
+    n_phases: int = 3,
+    drift: float = 0.5,
+    n_topics: int = 15,
+    n_groups: int = 8,
+    topics_per_group: int = 3,
+    like_prob_focus: float = 0.85,
+    like_prob_other: float = 0.03,
+    topic_zipf_exponent: float = 0.6,
+    publish_cycles: int = 90,
+    seed: int = 0,
+) -> Dataset:
+    """Generate a survey-like workload whose interests drift per phase.
+
+    Parameters
+    ----------
+    n_base_users / n_base_items:
+        Population and stream sizes (no replication — drift studies use
+        the raw population).
+    n_phases:
+        Number of equal-length publication phases; interests change at
+        each boundary.
+    drift:
+        Per-topic probability that a user's focus topic is replaced at a
+        phase boundary (0 → static, 1 → completely new tastes each phase).
+    others:
+        As in :func:`~repro.datasets.survey.survey_dataset`.
+
+    Returns
+    -------
+    Dataset
+        Items are tagged with ``topic = phase * n_topics + topic_id`` so
+        phase-aware analyses can segment them; ``n_topics`` on the dataset
+        reflects the expanded tag space.
+    """
+    check_positive("n_base_users", n_base_users)
+    check_positive("n_base_items", n_base_items)
+    check_positive("n_phases", n_phases)
+    check_probability("drift", drift)
+    check_positive("n_topics", n_topics)
+    check_positive("n_groups", n_groups)
+    if topics_per_group > n_topics:
+        raise DatasetError(
+            f"topics_per_group ({topics_per_group}) > n_topics ({n_topics})"
+        )
+    if n_phases > n_base_items:
+        raise DatasetError("need at least one item per phase")
+    rng = spawn_generator(seed, "dataset-drift")
+
+    # initial taste groups (as in the static survey generator)
+    archetypes = np.zeros((n_groups, n_topics), dtype=bool)
+    for g in range(n_groups):
+        archetypes[g, rng.choice(n_topics, size=topics_per_group, replace=False)] = True
+    groups = rng.choice(n_groups, size=n_base_users, p=zipf_weights(n_groups, 0.5))
+    focus = archetypes[groups].copy()
+
+    topic_pop = zipf_weights(n_topics, topic_zipf_exponent)
+
+    # per-phase item counts (as even as possible)
+    base = n_base_items // n_phases
+    counts = [base + (1 if p < n_base_items % n_phases else 0) for p in range(n_phases)]
+
+    likes_parts: list[np.ndarray] = []
+    topic_parts: list[np.ndarray] = []
+    for phase, count in enumerate(counts):
+        if phase > 0:
+            # drift: drop focus topics w.p. `drift`, replace with new ones
+            for u in range(n_base_users):
+                current = np.flatnonzero(focus[u])
+                for t in current:
+                    if rng.random() < drift:
+                        focus[u, t] = False
+                        replacement = int(rng.integers(n_topics))
+                        focus[u, replacement] = True
+                if not focus[u].any():
+                    focus[u, int(rng.integers(n_topics))] = True
+        topics = rng.choice(n_topics, size=count, p=topic_pop)
+        like_prob = np.where(
+            focus[:, topics], like_prob_focus, like_prob_other
+        )
+        likes_parts.append(rng.random((n_base_users, count)) < like_prob)
+        # phase-tagged topics keep C-Pub/Sub-style analyses phase-aware
+        topic_parts.append(phase * n_topics + topics)
+
+    likes = np.concatenate(likes_parts, axis=1)
+    item_topics = np.concatenate(topic_parts)
+    ensure_items_liked(likes, rng)
+
+    # publication order must follow phases: assign cycles by item index
+    # *without* shuffling across phases (finalize_items shuffles globally,
+    # so we shuffle within each phase and concatenate instead)
+    items = []
+    offset = 0
+    from repro.core.news import NewsItem
+    from repro.simulation.schedule import PublicationSchedule
+
+    cols = []
+    for phase, count in enumerate(counts):
+        perm = offset + rng.permutation(count)
+        cols.extend(int(i) for i in perm)
+        offset += count
+    likes = likes[:, cols]
+    item_topics = item_topics[cols]
+    for idx in range(n_base_items):
+        fans = np.flatnonzero(likes[:, idx])
+        source = int(fans[rng.integers(len(fans))])
+        cycle = PublicationSchedule.publication_cycle_of(
+            idx, n_base_items, publish_cycles
+        )
+        items.append(
+            NewsItem.publish(
+                source=source,
+                created_at=cycle,
+                topic=int(item_topics[idx]),
+                title=f"drift-item-{idx}",
+            )
+        )
+    return Dataset(
+        name="Drifting Survey",
+        n_users=n_base_users,
+        items=items,
+        likes=likes,
+        publish_cycles=publish_cycles,
+        n_topics=n_phases * n_topics,
+    )

@@ -1,0 +1,151 @@
+"""Survey-like workload (the paper's in-lab user study).
+
+The paper exposed 200 RSS news items spanning assorted topics (culture,
+politics, people, sports, ...) to 120 colleagues and relatives, recording a
+like/dislike for every (user, item) pair, then scaled the experiment by
+instantiating **4 replicas of each user and item** — yielding the Table I
+row of 480 users and ~1000 news (Section IV-A).
+
+Our generator models the population the way the paper's sociability analysis
+(Figure 11) describes it: most users have *alter-egos* — people with close
+tastes — plus a tail of eccentric raters:
+
+* ``n_groups`` latent **taste groups** (colleague circles, families) each
+  care about a few topics (``topics_per_group`` of ``n_topics``);
+* each base user joins a group and inherits its focus set, then *flips* a
+  geometric number of topics in/out — members of one group are similar but
+  not identical, and heavy flippers form the low-sociability tail;
+* each base item belongs to one topic (popularity-weighted);
+* the user likes an item with probability ``like_prob_focus`` when its
+  topic is in her focus set and ``like_prob_other`` otherwise;
+* the base like matrix is then tiled ``replication²`` times: every replica
+  of a user holds the opinions of her base user on every replica of each
+  item, exactly the paper's scaling trick ("the resulting bias affects both
+  WHATSUP and the state-of-the-art solutions we compare against").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets._build import ensure_items_liked, finalize_items
+from repro.datasets.base import Dataset
+from repro.datasets.digg import zipf_weights
+from repro.utils.exceptions import DatasetError
+from repro.utils.rng import spawn_generator
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["survey_dataset"]
+
+
+def survey_dataset(
+    n_base_users: int = 120,
+    n_base_items: int = 250,
+    replication: int = 1,
+    *,
+    n_topics: int = 15,
+    n_groups: int = 8,
+    topics_per_group: int = 3,
+    flip_prob: float = 0.6,
+    like_prob_focus: float = 0.85,
+    like_prob_other: float = 0.03,
+    topic_zipf_exponent: float = 0.6,
+    publish_cycles: int = 50,
+    seed: int = 0,
+) -> Dataset:
+    """Generate the survey-like workload.
+
+    Parameters
+    ----------
+    n_base_users / n_base_items:
+        The underlying survey dimensions (paper: 120 users, 200-250 items).
+    replication:
+        Instances per user/item.  The paper uses 4 (→ 480 users, ~1000
+        items); the default 1 keeps benchmark runs fast, and
+        ``replication=4`` reproduces Table I.
+    n_topics:
+        Latent topics behind the RSS feeds.
+    n_groups / topics_per_group:
+        Number of taste groups and the size of each group's focus set.
+    flip_prob:
+        Parameter of the geometric flip count: each user flips
+        ``Geometric(flip_prob) - 1`` topics of her group's focus set
+        (0 flips with probability ``flip_prob``); smaller values produce
+        more eccentric users and a flatter sociability spectrum.
+    like_prob_focus / like_prob_other:
+        Like probabilities inside / outside the focus set.
+    topic_zipf_exponent:
+        Skew of topic frequencies among items.
+    publish_cycles / seed:
+        Scheduling window and workload seed.
+
+    Returns
+    -------
+    Dataset
+        With ``n_topics`` topics (topic ids shared across replicas — replica
+        items of one base item carry the same topic, as the paper's
+        replicated news do).
+    """
+    check_positive("n_base_users", n_base_users)
+    check_positive("n_base_items", n_base_items)
+    check_positive("replication", replication)
+    check_positive("n_topics", n_topics)
+    check_positive("n_groups", n_groups)
+    check_positive("topics_per_group", topics_per_group)
+    check_probability("flip_prob", flip_prob)
+    check_probability("like_prob_focus", like_prob_focus)
+    check_probability("like_prob_other", like_prob_other)
+    if topics_per_group > n_topics:
+        raise DatasetError(
+            f"topics_per_group ({topics_per_group}) > n_topics ({n_topics})"
+        )
+    if flip_prob == 0.0:
+        raise DatasetError("flip_prob must be > 0 (geometric parameter)")
+    rng = spawn_generator(seed, "dataset-survey")
+
+    # taste groups: a focus set per group, Zipf-weighted group sizes;
+    # group focus sizes vary around topics_per_group (some circles follow
+    # one topic, others many) — the heterogeneity behind Figure 11's
+    # sociability spectrum and the hub formation cosine suffers from
+    archetypes = np.zeros((n_groups, n_topics), dtype=bool)
+    for g in range(n_groups):
+        lo = max(1, topics_per_group - 2)
+        hi = min(n_topics, topics_per_group + 2)
+        size = int(rng.integers(lo, hi + 1))
+        archetypes[g, rng.choice(n_topics, size=size, replace=False)] = True
+    group_weights = zipf_weights(n_groups, 0.5)
+    groups = rng.choice(n_groups, size=n_base_users, p=group_weights)
+    focus = archetypes[groups].copy()
+
+    # individual eccentricity: flip a geometric number of topics
+    for u in range(n_base_users):
+        n_flips = int(rng.geometric(flip_prob)) - 1
+        for _ in range(min(n_flips, n_topics)):
+            t = int(rng.integers(n_topics))
+            focus[u, t] = ~focus[u, t]
+        if not focus[u].any():  # nobody likes nothing: keep one topic
+            focus[u, int(rng.integers(n_topics))] = True
+
+    topic_pop = zipf_weights(n_topics, topic_zipf_exponent)
+    base_topics = rng.choice(n_topics, size=n_base_items, p=topic_pop)
+
+    like_prob = np.where(
+        focus[:, base_topics], like_prob_focus, like_prob_other
+    )
+    base_likes = rng.random((n_base_users, n_base_items)) < like_prob
+    # fix up unliked items *before* replication so replicas stay exact
+    ensure_items_liked(base_likes, rng)
+
+    # replicate users (rows) and items (columns): every user replica holds
+    # her base user's opinion on every item replica
+    likes = np.tile(base_likes, (replication, replication))
+    item_topics = np.tile(base_topics, replication)
+    items, likes = finalize_items("survey", item_topics, likes, publish_cycles, rng)
+    return Dataset(
+        name="WHATSUP Survey",
+        n_users=n_base_users * replication,
+        items=items,
+        likes=likes,
+        publish_cycles=publish_cycles,
+        n_topics=n_topics,
+    )

@@ -1,0 +1,141 @@
+"""Ablation experiments for the design choices Section IV-D discusses.
+
+These go beyond the paper's printed tables: they regenerate the parameter
+studies the authors describe in prose —
+
+* the **profile window** ("a size between 1/5 and 2/5 of the whole period
+  gives the best F1-Score, while smaller or larger values make WHATSUP
+  either too dynamic or not enough");
+* the **RPS view size** ("good performance with values between 20 and 40");
+* the **WUPvs / fLIKE ratio** ("we set the value of WUPvs to the double of
+  fLIKE as experiments provide the best trade-off");
+* the **similarity metric** (WUP vs cosine vs Jaccard vs overlap — the
+  paper only contrasts WUP and cosine).
+"""
+
+from __future__ import annotations
+
+from repro.core import WhatsUpConfig
+from repro.experiments.factory import build_system
+from repro.experiments.reporting import ExperimentReport, series_table
+from repro.experiments.runner import run_one, score_system
+from repro.experiments.scale import ScaleProfile
+from repro.metrics.graph import (
+    average_clustering,
+    in_degree_concentration,
+    lscc_fraction,
+    overlay_graph,
+    weak_component_count,
+)
+from repro.utils.tables import format_table
+
+__all__ = [
+    "exp_ablation_window",
+    "exp_ablation_rps_view",
+    "exp_ablation_wup_ratio",
+    "exp_ablation_metrics",
+]
+
+
+def exp_ablation_window(scale: ScaleProfile, seed: int) -> ExperimentReport:
+    """F1 vs profile window, as a fraction of the run length."""
+    ds = scale.survey(seed)
+    run_length = ds.publish_cycles
+    fractions = (0.1, 0.2, 0.33, 0.5, 0.8)
+    windows = [max(2, int(round(f * run_length))) for f in fractions]
+    rows = []
+    for frac, window in zip(fractions, windows):
+        cfg = WhatsUpConfig(f_like=10, profile_window=window)
+        r = run_one("whatsup", ds, seed=seed, config=cfg)
+        rows.append((f"{frac:.2f} ({window} cycles)", r.precision, r.recall, r.f1))
+    text = format_table(
+        ["Window (fraction of run)", "Precision", "Recall", "F1-Score"],
+        rows,
+        title=f"Ablation: profile window (scale={scale.name})",
+    )
+    return ExperimentReport(
+        "ablate-window", "Profile window ablation (§IV-D)", text, {"rows": rows}
+    )
+
+
+def exp_ablation_rps_view(scale: ScaleProfile, seed: int) -> ExperimentReport:
+    """F1 vs RPS view size (paper: robust between 20 and 40)."""
+    ds = scale.survey(seed)
+    sizes = (10, 20, 30, 40, 60)
+    rows = []
+    for size in sizes:
+        cfg = WhatsUpConfig(f_like=10, rps_view_size=size)
+        r = run_one("whatsup", ds, seed=seed, config=cfg)
+        rows.append((size, r.precision, r.recall, r.f1))
+    text = format_table(
+        ["RPS view size", "Precision", "Recall", "F1-Score"],
+        rows,
+        title=f"Ablation: RPS view size (scale={scale.name})",
+    )
+    return ExperimentReport(
+        "ablate-rpsvs", "RPS view size ablation (§IV-D)", text, {"rows": rows}
+    )
+
+
+def exp_ablation_wup_ratio(scale: ScaleProfile, seed: int) -> ExperimentReport:
+    """F1 vs WUPvs/fLIKE ratio (paper default: 2)."""
+    ds = scale.survey(seed)
+    f_like = 8
+    ratios = (1.0, 1.5, 2.0, 3.0, 4.0)
+    rows = []
+    for ratio in ratios:
+        cfg = WhatsUpConfig(
+            f_like=f_like, wup_view_size=max(f_like, int(round(ratio * f_like)))
+        )
+        r = run_one("whatsup", ds, seed=seed, config=cfg)
+        rows.append((ratio, r.precision, r.recall, r.f1))
+    text = format_table(
+        ["WUPvs / fLIKE", "Precision", "Recall", "F1-Score"],
+        rows,
+        title=f"Ablation: WUP view / fanout ratio (scale={scale.name}, fLIKE={f_like})",
+    )
+    return ExperimentReport(
+        "ablate-wupvs", "WUP view size ratio ablation (§IV-D)", text, {"rows": rows}
+    )
+
+
+def exp_ablation_metrics(scale: ScaleProfile, seed: int) -> ExperimentReport:
+    """Similarity-metric ablation incl. the §V-A topology numbers."""
+    ds = scale.survey(seed)
+    metrics = ("wup", "cosine", "jaccard", "overlap")
+    rows = []
+    for metric in metrics:
+        cfg = WhatsUpConfig(f_like=10, similarity=metric)
+        system = build_system("whatsup", ds, seed=seed, config=cfg)
+        system.run()
+        result = score_system(system, ds, {"metric": metric})
+        graph = overlay_graph(system.nodes)
+        rows.append(
+            (
+                metric,
+                result.precision,
+                result.recall,
+                result.f1,
+                average_clustering(graph),
+                lscc_fraction(graph),
+                weak_component_count(graph),
+                in_degree_concentration(graph),
+            )
+        )
+    text = format_table(
+        [
+            "Metric",
+            "Precision",
+            "Recall",
+            "F1-Score",
+            "Clust.coeff",
+            "LSCC",
+            "Components",
+            "Hub share",
+        ],
+        rows,
+        title=f"Ablation: similarity metric (fLIKE=10, scale={scale.name})",
+    )
+    return ExperimentReport(
+        "ablate-metric", "Similarity metric ablation (§V-A)", text, {"rows": rows}
+    )

@@ -1,0 +1,121 @@
+"""System factory: build any evaluated system by name.
+
+Names follow the paper's vocabulary:
+
+========== ==============================================================
+Name       System
+========== ==============================================================
+whatsup        WHATSUP (WUP metric)
+whatsup-cos    WHATSUP with cosine similarity (Section V-A variant)
+cf-wup         decentralized CF with the WUP metric
+cf-cos         decentralized CF with cosine similarity
+gossip         homogeneous gossip
+cascade        explicit social cascading (needs a social graph)
+c-whatsup      centralized WHATSUP (global knowledge)
+c-pubsub       ideal centralized topic pub/sub (closed form)
+========== ==============================================================
+
+The ``fanout`` argument is the sweep parameter of Figures 3/4/9: ``fLIKE``
+for the WHATSUP family, the neighbourhood size ``k`` for CF, the gossip
+fanout for homogeneous gossip.  Cascade and C-Pub/Sub have no fanout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.baselines import (
+    CascadeSystem,
+    CfSystem,
+    CPubSubSystem,
+    CWhatsUpSystem,
+    GossipSystem,
+)
+from repro.core import WhatsUpConfig, WhatsUpSystem
+from repro.datasets.base import Dataset
+from repro.network.transport import Transport
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["SYSTEM_NAMES", "build_system"]
+
+SYSTEM_NAMES = (
+    "whatsup",
+    "whatsup-cos",
+    "cf-wup",
+    "cf-cos",
+    "gossip",
+    "cascade",
+    "c-whatsup",
+    "c-pubsub",
+)
+
+
+def build_system(
+    name: str,
+    dataset: Dataset,
+    *,
+    fanout: int | None = None,
+    seed: int = 0,
+    transport: Transport | None = None,
+    config: WhatsUpConfig | None = None,
+    churn: object | None = None,
+):
+    """Instantiate a ready-to-run system.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`SYSTEM_NAMES`.
+    dataset:
+        The workload.
+    fanout:
+        The sweep parameter (see module docstring); ``None`` keeps each
+        system's paper default.
+    seed / transport / churn:
+        Run seed, optional loss model, optional churn model.
+    config:
+        Base :class:`WhatsUpConfig` for the WHATSUP family (``fanout``
+        overrides its ``f_like``); ignored by the other systems except
+        ``c-whatsup``.
+    """
+    key = name.lower()
+    base = config if config is not None else WhatsUpConfig()
+
+    if key in ("whatsup", "whatsup-cos", "c-whatsup"):
+        cfg = base
+        if fanout is not None:
+            cfg = cfg.with_fanout(fanout)
+        if key == "whatsup-cos":
+            cfg = cfg.with_metric("cosine")
+        if key == "c-whatsup":
+            return CWhatsUpSystem(dataset, cfg, seed=seed, transport=transport)
+        return WhatsUpSystem(
+            dataset, cfg, seed=seed, transport=transport, churn=churn
+        )
+    if key in ("cf-wup", "cf-cos"):
+        metric = "wup" if key == "cf-wup" else "cosine"
+        k = fanout if fanout is not None else (19 if metric == "wup" else 29)
+        return CfSystem(
+            dataset,
+            k=k,
+            metric=metric,
+            rps_view_size=base.rps_view_size,
+            profile_window=base.profile_window,
+            seed=seed,
+            transport=transport,
+        )
+    if key == "gossip":
+        return GossipSystem(
+            dataset,
+            fanout=fanout if fanout is not None else 4,
+            rps_view_size=base.rps_view_size,
+            seed=seed,
+            transport=transport,
+        )
+    if key == "cascade":
+        return CascadeSystem(dataset, seed=seed, transport=transport)
+    if key == "c-pubsub":
+        return CPubSubSystem(dataset)
+    raise ConfigurationError(
+        f"unknown system {name!r}; available: {SYSTEM_NAMES}"
+    )

@@ -1,0 +1,71 @@
+"""Report container and formatting helpers for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.results import RunResult
+from repro.utils.tables import format_table
+
+__all__ = ["ExperimentReport", "results_table", "series_table"]
+
+
+@dataclass
+class ExperimentReport:
+    """One reproduced table or figure.
+
+    Attributes
+    ----------
+    exp_id:
+        Registry key (``table3``, ``fig4``, ...).
+    title:
+        Human-readable caption echoing the paper's.
+    text:
+        The rendered plain-text table(s)/series — what the benchmark
+        prints.
+    data:
+        Structured values for programmatic consumers (tests, EXPERIMENTS.md
+        generation).
+    """
+
+    exp_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"== {self.exp_id}: {self.title} ==\n{self.text}"
+
+
+def results_table(results: list[RunResult], *, title: str | None = None) -> str:
+    """Render runs as a Table III-style block."""
+    return format_table(
+        ["Algorithm", "Precision", "Recall", "F1-Score", "Mess./User"],
+        [
+            (r.label(), r.precision, r.recall, r.f1, round(r.messages_per_user, 1))
+            for r in results
+        ],
+        title=title,
+    )
+
+
+def series_table(
+    x_name: str,
+    x_values,
+    columns: dict[str, list[float]],
+    *,
+    title: str | None = None,
+    float_fmt: str = ".3f",
+) -> str:
+    """Render figure series as columns against a shared x axis."""
+    headers = [x_name, *columns.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        row = [x]
+        for series in columns.values():
+            value = series[i]
+            row.append("-" if value is None or (isinstance(value, float) and np.isnan(value)) else value)
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)

@@ -1,0 +1,62 @@
+"""Structured results of experiment runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.metrics.retrieval import RetrievalScores
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (system × dataset × parameters) run.
+
+    Carries exactly the quantities the paper reports in its tables and
+    figure series; heavyweight objects (logs, matrices) stay with the
+    caller.
+    """
+
+    system: str
+    dataset: str
+    params: dict = field(default_factory=dict)
+    scores: RetrievalScores = field(
+        default_factory=lambda: RetrievalScores(0.0, 0.0, 0.0)
+    )
+    item_messages: int = 0
+    messages_per_user: float = 0.0
+    messages_per_user_per_cycle: float = 0.0
+    gossip_messages: int = 0
+    duplicates: int = 0
+    cycles: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def precision(self) -> float:
+        return self.scores.precision
+
+    @property
+    def recall(self) -> float:
+        return self.scores.recall
+
+    @property
+    def f1(self) -> float:
+        return self.scores.f1
+
+    def label(self) -> str:
+        """Short human-readable run label, e.g. ``whatsup(f_like=10)``."""
+        if not self.params:
+            return self.system
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.system}({inner})"
+
+    def table_row(self) -> tuple:
+        """The Table III-style row: label, P, R, F1, messages/user."""
+        return (
+            self.label(),
+            self.precision,
+            self.recall,
+            self.f1,
+            self.messages_per_user,
+        )

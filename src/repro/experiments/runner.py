@@ -1,0 +1,69 @@
+"""Run systems and collect :class:`~repro.experiments.results.RunResult`."""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets.base import Dataset
+from repro.experiments.factory import build_system
+from repro.experiments.results import RunResult
+from repro.metrics.retrieval import RetrievalScores, evaluate_dissemination
+from repro.network.transport import Transport
+
+__all__ = ["score_system", "run_one"]
+
+
+def score_system(system, dataset: Dataset, params: dict | None = None) -> RunResult:
+    """Evaluate an already-run system into a :class:`RunResult`."""
+    reached = system.reached_matrix()
+    scores = evaluate_dissemination(reached, dataset.likes)
+    result = RunResult(
+        system=system.system_name,
+        dataset=dataset.name,
+        params=dict(params or {}),
+        scores=scores,
+    )
+    stats = getattr(system, "stats", None)
+    engine = getattr(system, "engine", None)
+    if stats is not None and engine is not None:
+        n = dataset.n_users
+        cycles = engine.cycles_run
+        result.item_messages = stats.item_messages()
+        result.messages_per_user = stats.messages_per_user(n)
+        result.messages_per_user_per_cycle = stats.messages_per_user_per_cycle(
+            n, cycles
+        )
+        result.gossip_messages = stats.gossip_messages()
+        result.duplicates = system.log.duplicates
+        result.cycles = cycles
+    else:
+        # closed-form systems (C-Pub/Sub)
+        total = getattr(system, "total_messages", 0)
+        result.item_messages = int(total)
+        result.messages_per_user = total / dataset.n_users
+    return result
+
+
+def run_one(
+    name: str,
+    dataset: Dataset,
+    *,
+    fanout: int | None = None,
+    seed: int = 0,
+    transport: Transport | None = None,
+    config=None,
+    cycles: int | None = None,
+) -> RunResult:
+    """Build, run and score one system; wall time included."""
+    system = build_system(
+        name, dataset, fanout=fanout, seed=seed, transport=transport, config=config
+    )
+    start = time.perf_counter()
+    system.run(cycles)
+    elapsed = time.perf_counter() - start
+    params: dict = {}
+    if fanout is not None:
+        params["fanout"] = fanout
+    result = score_system(system, dataset, params)
+    result.wall_seconds = elapsed
+    return result

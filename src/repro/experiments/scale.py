@@ -1,0 +1,164 @@
+"""Experiment scale profiles.
+
+Paper-scale runs (3180 users × 2520 items) are supported but take long in
+pure Python, so every experiment accepts a scale profile:
+
+* ``small`` (default) — ~4-6× reduced populations; minutes for the full
+  benchmark suite; the reproduction target is the *shape* of each result;
+* ``medium`` — ~2× reduced;
+* ``paper`` — the paper's Table I dimensions.
+
+Select via the ``REPRO_SCALE`` environment variable or explicitly in code.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.datasets import digg_dataset, survey_dataset, synthetic_dataset
+from repro.datasets.base import Dataset
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["ScaleProfile", "get_scale", "SCALES"]
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """Dataset dimensions for one scale level."""
+
+    name: str
+    # survey
+    survey_base_users: int
+    survey_base_items: int
+    survey_replication: int
+    # synthetic
+    synthetic_users: int
+    synthetic_items_per_community: int
+    # digg
+    digg_users: int
+    digg_items: int
+    # shared
+    publish_cycles: int
+    # sweep grids (reduced scale → reduced sweep density)
+    fanouts_survey: tuple[int, ...]
+    fanouts_synthetic: tuple[int, ...]
+    fanouts_digg: tuple[int, ...]
+    #: largest/smallest community ratio — the paper's Arxiv spread is ~33,
+    #: but at reduced populations that would leave the smallest communities
+    #: below the fanout, so reduced scales flatten the spectrum
+    synthetic_size_ratio: float = 33.0
+
+    def survey(self, seed: int = 1) -> Dataset:
+        """The survey workload at this scale."""
+        return survey_dataset(
+            n_base_users=self.survey_base_users,
+            n_base_items=self.survey_base_items,
+            replication=self.survey_replication,
+            publish_cycles=self.publish_cycles,
+            seed=seed,
+        )
+
+    def synthetic(self, seed: int = 1) -> Dataset:
+        """The synthetic community workload at this scale."""
+        return synthetic_dataset(
+            n_users=self.synthetic_users,
+            items_per_community=self.synthetic_items_per_community,
+            size_ratio=self.synthetic_size_ratio,
+            publish_cycles=self.publish_cycles,
+            seed=seed,
+        )
+
+    def digg(self, seed: int = 1) -> Dataset:
+        """The Digg-like workload at this scale."""
+        return digg_dataset(
+            n_users=self.digg_users,
+            n_items=self.digg_items,
+            publish_cycles=self.publish_cycles,
+            seed=seed,
+        )
+
+    def dataset(self, name: str, seed: int = 1) -> Dataset:
+        """Workload by name: ``survey`` / ``synthetic`` / ``digg``."""
+        try:
+            return {
+                "survey": self.survey,
+                "synthetic": self.synthetic,
+                "digg": self.digg,
+            }[name.lower()](seed)
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown dataset {name!r}; available: survey, synthetic, digg"
+            ) from None
+
+    def fanouts(self, dataset_name: str) -> tuple[int, ...]:
+        """The Figure 3 fanout grid for a workload at this scale."""
+        return {
+            "survey": self.fanouts_survey,
+            "synthetic": self.fanouts_synthetic,
+            "digg": self.fanouts_digg,
+        }[dataset_name.lower()]
+
+
+SCALES: dict[str, ScaleProfile] = {
+    "small": ScaleProfile(
+        name="small",
+        survey_base_users=120,
+        survey_base_items=150,
+        survey_replication=1,
+        synthetic_users=420,
+        synthetic_items_per_community=8,
+        digg_users=150,
+        digg_items=300,
+        publish_cycles=40,
+        fanouts_survey=(2, 3, 5, 7, 10, 14),
+        fanouts_synthetic=(2, 3, 5, 7, 10, 14),
+        fanouts_digg=(2, 3, 5, 7, 10),
+        synthetic_size_ratio=8.0,
+    ),
+    "medium": ScaleProfile(
+        name="medium",
+        survey_base_users=120,
+        survey_base_items=250,
+        survey_replication=2,
+        synthetic_users=1000,
+        synthetic_items_per_community=30,
+        digg_users=375,
+        digg_items=1000,
+        publish_cycles=50,
+        fanouts_survey=(2, 3, 5, 8, 12, 16, 20),
+        fanouts_synthetic=(2, 5, 8, 12, 16, 24),
+        fanouts_digg=(2, 4, 6, 10, 14),
+        synthetic_size_ratio=16.0,
+    ),
+    "paper": ScaleProfile(
+        name="paper",
+        survey_base_users=120,
+        survey_base_items=250,
+        survey_replication=4,
+        synthetic_users=3180,
+        synthetic_items_per_community=120,
+        digg_users=750,
+        digg_items=2500,
+        publish_cycles=65,
+        fanouts_survey=(2, 5, 10, 15, 20, 25, 30),
+        fanouts_synthetic=(5, 10, 15, 20, 30, 45),
+        fanouts_digg=(2, 5, 10, 15, 20, 25),
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> ScaleProfile:
+    """Resolve a scale profile.
+
+    Order of precedence: explicit *name* argument, the ``REPRO_SCALE``
+    environment variable, then ``small``.
+    """
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "small")
+    try:
+        return SCALES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scale {name!r}; available: {sorted(SCALES)}"
+        ) from None

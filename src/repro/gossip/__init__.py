@@ -1,0 +1,34 @@
+"""Gossip substrate: peer-sampling and clustering overlays.
+
+WHATSUP's WUP layer (paper Section II) is built on two classic gossip
+protocols, both implemented here from scratch:
+
+* :mod:`repro.gossip.views` — the *view* data structure both protocols
+  maintain: a bounded set of entries ``(address, node id, profile,
+  timestamp)``;
+* :mod:`repro.gossip.rps` — the random-peer-sampling layer (Jelasity et al.,
+  ACM TOCS 2007): periodic push–pull exchanges of half views with the oldest
+  known peer, merged by uniform sampling, yielding a continuously changing
+  random graph that keeps the network connected;
+* :mod:`repro.gossip.vicinity` — the clustering layer (Voulgaris & van
+  Steen's Vicinity, Euro-Par 2005): full-view exchanges merged by greedy
+  similarity ranking, which WUP instantiates with the paper's asymmetric
+  metric to form the implicit social network.
+
+These classes are engine-agnostic: they build and consume message
+dataclasses; the simulation engine (or a deployment shim) moves the messages.
+"""
+
+from repro.gossip.rps import RpsMessage, RpsProtocol
+from repro.gossip.views import View, ViewEntry, descriptor_wire_size
+from repro.gossip.vicinity import ClusteringMessage, ClusteringProtocol
+
+__all__ = [
+    "View",
+    "ViewEntry",
+    "descriptor_wire_size",
+    "RpsMessage",
+    "RpsProtocol",
+    "ClusteringMessage",
+    "ClusteringProtocol",
+]

@@ -1,0 +1,59 @@
+"""Initial overlay bootstrap.
+
+A real deployment seeds a joining node's views from an out-of-band contact
+(tracker, address cache, or the cold-start contact of Section II-D).  For
+simulation start-up, every system — WHATSUP and the gossip-based baselines —
+fills its nodes' views with uniformly random peers whose (empty) profile
+snapshots are stamped at cycle 0; the overlays then evolve by gossip.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.gossip.views import View, ViewEntry
+
+__all__ = ["random_view_bootstrap"]
+
+
+def random_view_bootstrap(
+    nodes: Sequence,
+    rng: np.random.Generator,
+    views_of: Callable[[object], Iterable[View]],
+) -> None:
+    """Fill each node's views with uniformly random peers.
+
+    Parameters
+    ----------
+    nodes:
+        The population; every element must expose ``node_id``, ``profile``
+        (with ``snapshot()``) and ``rps.address``.
+    rng:
+        Randomness for peer selection.
+    views_of:
+        Maps a node to the views to seed (e.g. RPS only for the gossip
+        baseline; RPS + clustering for WHATSUP and CF).
+    """
+    n = len(nodes)
+    if n <= 1:
+        return
+    for node in nodes:
+        for view in views_of(node):
+            k = min(view.capacity, n - 1)
+            picks = rng.choice(n, size=min(k + 1, n), replace=False)
+            added = 0
+            for idx in picks:
+                peer = nodes[int(idx)]
+                if peer.node_id == node.node_id or added >= k:
+                    continue
+                view.upsert(
+                    ViewEntry(
+                        node_id=peer.node_id,
+                        address=peer.rps.address,
+                        profile=peer.profile.snapshot(),
+                        timestamp=0,
+                    )
+                )
+                added += 1

@@ -1,0 +1,182 @@
+"""Vicinity-style clustering protocol (the WUP overlay layer).
+
+The upper gossip layer of WUP (paper Section II): each node greedily keeps in
+its view the peers whose profiles are **most similar to its own**.  Following
+Voulgaris & van Steen's Vicinity (Euro-Par 2005), as instantiated by the
+paper:
+
+1. periodically, each node selects the entry with the oldest timestamp in its
+   clustering view;
+2. it sends that peer its own fresh descriptor plus its **entire view**
+   (unlike the RPS, which ships half — Section II);
+3. the receiver replies symmetrically, and both sides merge: from the union
+   of their own view, the received entries, **and the local RPS view** (the
+   clustering layer feeds on the random layer for fresh candidates), keep the
+   ``view_size`` entries whose profiles maximise the similarity metric.
+
+The similarity metric is pluggable: WHATSUP uses the asymmetric WUP metric
+(:func:`repro.core.similarity.wup_similarity`); the paper's WHATSUP-Cos
+variant swaps in classical cosine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.similarity import MetricFn
+from repro.gossip.views import View, ViewEntry, descriptor_wire_size
+
+__all__ = ["ClusteringMessage", "ClusteringProtocol"]
+
+
+@dataclass(frozen=True)
+class ClusteringMessage:
+    """One clustering-layer gossip message (request or reply)."""
+
+    sender: int
+    entries: tuple[ViewEntry, ...]
+    is_request: bool
+
+    def wire_size(self) -> int:
+        """Modelled serialized size in bytes (entries + 1-byte flag)."""
+        return 1 + sum(descriptor_wire_size(e) for e in self.entries)
+
+
+class ClusteringProtocol:
+    """Per-node clustering (WUP social network) instance.
+
+    Parameters
+    ----------
+    node_id:
+        Owner's identifier.
+    view_size:
+        View capacity (the paper's ``WUPvs``; WHATSUP sets it to twice the
+        like-fanout — Table II).
+    metric:
+        Similarity function ``metric(own_profile, candidate_profile)`` used
+        to rank candidates.
+    rng:
+        Dedicated random generator (used only for deterministic tie-breaks
+        through shuffling when scores tie exactly).
+    address:
+        Modelled network address used in descriptors.
+    """
+
+    __slots__ = ("node_id", "view", "metric", "rng", "address")
+
+    def __init__(
+        self,
+        node_id: int,
+        view_size: int,
+        metric: MetricFn,
+        rng: np.random.Generator,
+        address: str | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.view = View(view_size, owner_id=node_id)
+        self.metric = metric
+        self.rng = rng
+        self.address = (
+            address
+            if address is not None
+            else f"10.0.{node_id >> 8 & 255}.{node_id & 255}"
+        )
+
+    def descriptor(self, profile, now: int) -> ViewEntry:
+        """Build this node's own fresh descriptor."""
+        return ViewEntry(
+            node_id=self.node_id,
+            address=self.address,
+            profile=profile,
+            timestamp=now,
+        )
+
+    # -- active thread ----------------------------------------------------
+
+    def select_partner(self) -> int | None:
+        """The gossip partner for this cycle: oldest entry in the view."""
+        oldest = self.view.oldest()
+        return None if oldest is None else oldest.node_id
+
+    def initiate(
+        self, profile, now: int, ranking_profile=None
+    ) -> tuple[int, ClusteringMessage] | None:
+        """Start one exchange: ship own descriptor + the **entire** view.
+
+        *profile* goes into the shipped descriptor (what others learn);
+        *ranking_profile*, when given, is used for the local merge instead
+        (a privacy-conscious node shares a distorted profile but ranks
+        candidates against its true interests).
+        """
+        partner = self.select_partner()
+        if partner is None:
+            return None
+        entries = (
+            self.descriptor(profile, now),
+            *[e for e in self.view.entries() if e.node_id != partner],
+        )
+        return partner, ClusteringMessage(self.node_id, entries, is_request=True)
+
+    # -- passive thread ---------------------------------------------------
+
+    def handle(
+        self,
+        msg: ClusteringMessage,
+        profile,
+        now: int,
+        rps_entries: Iterable[ViewEntry] = (),
+        ranking_profile=None,
+    ) -> ClusteringMessage | None:
+        """Process an incoming message; return the reply for a request.
+
+        *profile* is shipped in the reply descriptor; *ranking_profile*
+        (default: *profile*) is the merge's ranking reference;
+        *rps_entries* is the owner's current RPS view, folded into the
+        candidate pool as Vicinity prescribes.
+        """
+        reply: ClusteringMessage | None = None
+        if msg.is_request:
+            entries = (
+                self.descriptor(profile, now),
+                *[e for e in self.view.entries() if e.node_id != msg.sender],
+            )
+            reply = ClusteringMessage(self.node_id, entries, is_request=False)
+        self.merge(
+            ranking_profile if ranking_profile is not None else profile,
+            msg.entries,
+            rps_entries,
+        )
+        return reply
+
+    # -- merge ------------------------------------------------------------
+
+    def merge(
+        self,
+        profile,
+        received: Iterable[ViewEntry],
+        rps_entries: Iterable[ViewEntry] = (),
+    ) -> None:
+        """Union own view + received + RPS candidates; keep the closest.
+
+        Candidate scores use ``metric(own_profile, candidate_profile)`` —
+        the owner is the "chooser" ``n`` of the asymmetric metric.
+        """
+        self.view.upsert_all(received)
+        self.view.upsert_all(rps_entries)
+        metric = self.metric
+        self.view.trim_ranked(lambda e: metric(profile, e.profile))
+
+    def refresh(self, profile, rps_entries: Iterable[ViewEntry]) -> None:
+        """Re-rank the view against *profile* using only RPS candidates.
+
+        Called when the owner's profile changed substantially outside a
+        gossip exchange (e.g. after the cold-start bootstrap) so the view
+        reflects current interests without waiting a full cycle.
+        """
+        self.merge(profile, (), rps_entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClusteringProtocol(node={self.node_id}, view={len(self.view)})"

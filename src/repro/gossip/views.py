@@ -1,0 +1,217 @@
+"""Bounded peer views for gossip protocols (paper Section II).
+
+Each protocol at each node maintains a *view*: a bounded data structure of
+entries, one per known peer, where every entry carries
+
+* the peer's network address (modelled; used only for wire-size accounting),
+* the peer's node identifier,
+* the peer's interest profile (a :class:`~repro.core.profiles.FrozenProfile`
+  snapshot taken when the peer last gossiped), and
+* a timestamp recording when the peer generated that information.
+
+Both the RPS and the clustering protocol periodically contact the entry with
+the **oldest** timestamp — the paper follows Jelasity et al.'s tail-based
+peer selection, which actively refreshes the stalest information and evicts
+dead peers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.core.profiles import FrozenProfile
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["ViewEntry", "View", "descriptor_wire_size"]
+
+#: Modelled wire size of an entry's fixed fields: IPv4 address (4) + node id
+#: (8) + timestamp (8).
+_ENTRY_FIXED_BYTES = 4 + 8 + 8
+
+#: Gossiped profiles travel as compact set digests, not as full triplet
+#: lists: the similarity metrics only need the liked/rated *sets*, so a
+#: production implementation ships two Bloom filters at ~10 bits per entry
+#: (1.25 B) plus a 16-byte filter header.  This keeps WUP's view-management
+#: bandwidth in the paper's "about 4 Kbps" regime (Section V-F) instead of
+#: ballooning with the profile window.
+_PROFILE_DIGEST_HEADER_BYTES = 16
+_PROFILE_DIGEST_BYTES_PER_ENTRY = 1.25
+
+
+def descriptor_wire_size(entry: "ViewEntry") -> int:
+    """Modelled serialized size of one view entry, in bytes."""
+    import math
+
+    digest = _PROFILE_DIGEST_HEADER_BYTES + math.ceil(
+        _PROFILE_DIGEST_BYTES_PER_ENTRY * len(entry.profile)
+    )
+    return _ENTRY_FIXED_BYTES + digest
+
+
+@dataclass(frozen=True)
+class ViewEntry:
+    """One peer descriptor inside a view.
+
+    Attributes
+    ----------
+    node_id:
+        The peer's identifier.
+    address:
+        The peer's (modelled) network address.
+    profile:
+        Immutable snapshot of the peer's user profile at *timestamp*.
+    timestamp:
+        Cycle at which the peer generated this descriptor.  Fresher
+        descriptors for the same peer always win during merges.
+    """
+
+    node_id: int
+    address: str
+    profile: FrozenProfile
+    timestamp: int
+
+    def aged_copy(self, timestamp: int) -> "ViewEntry":
+        """Return the same descriptor with a rewritten timestamp."""
+        return replace(self, timestamp=timestamp)
+
+
+class View:
+    """A bounded, per-peer-deduplicated set of :class:`ViewEntry`.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries (the paper's ``RPSvs`` / ``WUPvs``).
+    owner_id:
+        The owning node's id; descriptors for the owner are never stored
+        (a node does not keep itself in its own view).
+    """
+
+    __slots__ = ("capacity", "owner_id", "_entries")
+
+    def __init__(self, capacity: int, owner_id: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"view capacity must be > 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.owner_id = int(owner_id)
+        self._entries: dict[int, ViewEntry] = {}
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._entries
+
+    def __iter__(self) -> Iterator[ViewEntry]:
+        return iter(self._entries.values())
+
+    def entries(self) -> list[ViewEntry]:
+        """All entries (insertion order; do not rely on ordering)."""
+        return list(self._entries.values())
+
+    def node_ids(self) -> list[int]:
+        """Identifiers of all peers currently in the view."""
+        return list(self._entries.keys())
+
+    def get(self, node_id: int) -> ViewEntry | None:
+        """The entry for *node_id*, or ``None``."""
+        return self._entries.get(node_id)
+
+    def oldest(self) -> ViewEntry | None:
+        """The entry with the smallest timestamp (gossip target selection).
+
+        Ties are broken by node id so behaviour is deterministic under a
+        fixed seed.
+        """
+        if not self._entries:
+            return None
+        return min(self._entries.values(), key=lambda e: (e.timestamp, e.node_id))
+
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    # -- mutation ---------------------------------------------------------
+
+    def upsert(self, entry: ViewEntry) -> None:
+        """Insert *entry*, keeping the freshest descriptor per peer.
+
+        Ignores descriptors of the owner.  May grow the view beyond capacity;
+        callers must follow with :meth:`trim_random` or :meth:`trim_ranked`.
+        """
+        if entry.node_id == self.owner_id:
+            return
+        current = self._entries.get(entry.node_id)
+        if current is None or entry.timestamp >= current.timestamp:
+            self._entries[entry.node_id] = entry
+
+    def upsert_all(self, entries: Iterable[ViewEntry]) -> None:
+        """Bulk :meth:`upsert`."""
+        for entry in entries:
+            self.upsert(entry)
+
+    def remove(self, node_id: int) -> None:
+        """Drop the entry for *node_id* (no-op if absent)."""
+        self._entries.pop(node_id, None)
+
+    def evict_older_than(self, cutoff: int) -> int:
+        """Drop entries with ``timestamp < cutoff`` (churn healing).
+
+        Returns the number of entries evicted.
+        """
+        stale = [nid for nid, e in self._entries.items() if e.timestamp < cutoff]
+        for nid in stale:
+            del self._entries[nid]
+        return len(stale)
+
+    def trim_random(self, rng: np.random.Generator) -> None:
+        """Shrink to capacity by keeping a uniform random sample.
+
+        This is the RPS merge rule: "the receiving node renews its view by
+        keeping a random sample of the union of its own view and the
+        received one" (Section II).
+        """
+        excess = len(self._entries) - self.capacity
+        if excess <= 0:
+            return
+        ids = list(self._entries.keys())
+        drop = rng.choice(len(ids), size=excess, replace=False)
+        for idx in drop:
+            del self._entries[ids[int(idx)]]
+
+    def trim_ranked(self, key) -> None:
+        """Shrink to capacity keeping the entries with the **highest** *key*.
+
+        This is the clustering merge rule: keep the candidates whose profiles
+        are closest to the owner's.  *key* maps a :class:`ViewEntry` to a
+        sortable score; ties are broken by descriptor freshness then node id
+        for determinism.
+        """
+        if len(self._entries) <= self.capacity:
+            return
+        ranked = sorted(
+            self._entries.values(),
+            key=lambda e: (-key(e), -e.timestamp, e.node_id),
+        )
+        self._entries = {e.node_id: e for e in ranked[: self.capacity]}
+
+    def sample(self, k: int, rng: np.random.Generator) -> list[ViewEntry]:
+        """Uniform sample (without replacement) of ``min(k, len)`` entries."""
+        entries = list(self._entries.values())
+        if k >= len(entries):
+            return entries
+        idx = rng.choice(len(entries), size=k, replace=False)
+        return [entries[int(i)] for i in idx]
+
+    def wire_size(self) -> int:
+        """Modelled serialized size of the whole view, in bytes."""
+        return sum(descriptor_wire_size(e) for e in self._entries.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"View(owner={self.owner_id}, size={len(self)}/{self.capacity})"
+        )

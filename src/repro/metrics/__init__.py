@@ -1,0 +1,64 @@
+"""Evaluation metrics (paper Section IV-C and the Section V analyses).
+
+* :mod:`repro.metrics.retrieval` — precision / recall / F1 (micro,
+  per-item, per-user);
+* :mod:`repro.metrics.graph` — overlay topology: LSCC fraction (Fig. 4),
+  clustering coefficient, fragmentation, hub concentration (§V-A);
+* :mod:`repro.metrics.dissemination` — dislike-counter distribution
+  (Table IV), hop breakdowns (Fig. 6), popularity (Fig. 10) and
+  sociability (Fig. 11) analyses;
+* :mod:`repro.metrics.bandwidth` — per-protocol Kbps split (Fig. 8b).
+"""
+
+from repro.metrics.bandwidth import BandwidthBreakdown, bandwidth_breakdown
+from repro.metrics.dissemination import (
+    HopsBreakdown,
+    dislike_counter_distribution,
+    f1_vs_sociability,
+    hops_breakdown,
+    recall_vs_popularity,
+    sociability,
+)
+from repro.metrics.graph import (
+    average_clustering,
+    in_degree_concentration,
+    lscc_fraction,
+    overlay_graph,
+    weak_component_count,
+)
+from repro.metrics.temporal import (
+    LatencySummary,
+    delivery_latencies,
+    latency_summary,
+    time_to_audience,
+)
+from repro.metrics.retrieval import (
+    RetrievalScores,
+    evaluate_dissemination,
+    per_item_scores,
+    per_user_scores,
+)
+
+__all__ = [
+    "BandwidthBreakdown",
+    "bandwidth_breakdown",
+    "HopsBreakdown",
+    "dislike_counter_distribution",
+    "f1_vs_sociability",
+    "hops_breakdown",
+    "recall_vs_popularity",
+    "sociability",
+    "average_clustering",
+    "in_degree_concentration",
+    "lscc_fraction",
+    "overlay_graph",
+    "weak_component_count",
+    "LatencySummary",
+    "delivery_latencies",
+    "latency_summary",
+    "time_to_audience",
+    "RetrievalScores",
+    "evaluate_dissemination",
+    "per_item_scores",
+    "per_user_scores",
+]

@@ -1,0 +1,50 @@
+"""Bandwidth accounting (paper Figure 8b, Section V-F).
+
+The paper's prototype measures consumed bandwidth per node; Figure 8b splits
+it into BEEP (news dissemination) and WUP (view management, i.e. RPS +
+clustering gossip) and shows BEEP dominating and growing linearly with the
+fanout while WUP stays nearly flat.
+
+Our simulation models every message's serialized size (see
+``repro.core.news`` and ``repro.gossip.views``), so the same split falls out
+of the traffic statistics given a cycle duration (30 s in the paper's
+deployment experiments, ~5 min in the long-running prototype).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.message import MessageKind
+from repro.network.stats import TrafficStats
+
+__all__ = ["BandwidthBreakdown", "bandwidth_breakdown"]
+
+
+@dataclass(frozen=True)
+class BandwidthBreakdown:
+    """Average per-node consumed bandwidth, in Kbps."""
+
+    total_kbps: float
+    beep_kbps: float
+    wup_kbps: float  # view management: RPS + clustering gossip
+
+    def as_row(self) -> tuple[float, float, float]:
+        return (self.total_kbps, self.wup_kbps, self.beep_kbps)
+
+
+def bandwidth_breakdown(
+    stats: TrafficStats,
+    n_nodes: int,
+    n_cycles: int,
+    cycle_seconds: float,
+) -> BandwidthBreakdown:
+    """Split delivered bytes into the paper's Total / WUP / BEEP series."""
+    beep = stats.bandwidth_kbps(n_nodes, n_cycles, cycle_seconds, MessageKind.ITEM)
+    rps = stats.bandwidth_kbps(n_nodes, n_cycles, cycle_seconds, MessageKind.RPS)
+    wup = stats.bandwidth_kbps(n_nodes, n_cycles, cycle_seconds, MessageKind.WUP)
+    return BandwidthBreakdown(
+        total_kbps=beep + rps + wup,
+        beep_kbps=beep,
+        wup_kbps=rps + wup,
+    )

@@ -1,0 +1,178 @@
+"""Dissemination-path analyses (paper Tables IV, Figures 6, 10, 11).
+
+All functions consume the engine's :class:`~repro.simulation.events.DisseminationLog`
+(plus the workload's ground truth) after a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.similarity import similarity_matrix
+from repro.metrics.retrieval import per_user_scores
+from repro.simulation.events import DisseminationLog
+
+__all__ = [
+    "dislike_counter_distribution",
+    "HopsBreakdown",
+    "hops_breakdown",
+    "recall_vs_popularity",
+    "sociability",
+    "f1_vs_sociability",
+]
+
+
+def dislike_counter_distribution(
+    log: DisseminationLog, max_ttl: int = 4
+) -> dict[int, float]:
+    """Table IV: dislike-counter distribution over *liked* deliveries.
+
+    For each news item received by a node that likes it, the number of
+    times it was forwarded by nodes that did not like it (the copy's
+    dislike counter at receipt).  Returns ``{0: fraction, 1: ..., ...}``
+    covering ``0..max_ttl`` (missing counts have fraction 0).
+    """
+    arr = log.arrays()
+    liked = arr["d_liked"]
+    if not liked.any():
+        return {k: 0.0 for k in range(max_ttl + 1)}
+    counters = arr["d_dislikes"][liked]
+    total = len(counters)
+    return {
+        k: float((counters == k).sum()) / total for k in range(max_ttl + 1)
+    }
+
+
+@dataclass(frozen=True)
+class HopsBreakdown:
+    """Figure 6's four series, indexed by hop distance from the source.
+
+    Attributes are arrays of length ``max_hops + 1``; index *h* counts
+    events performed by/arriving at nodes *h* hops from the source.
+    """
+
+    forwards_by_like: np.ndarray
+    forwards_by_dislike: np.ndarray
+    infections_by_like: np.ndarray
+    infections_by_dislike: np.ndarray
+
+    @property
+    def max_hops(self) -> int:
+        return len(self.forwards_by_like) - 1
+
+    def mean_infection_hops(self) -> float:
+        """Average hop distance of deliveries (the paper observes ≈5)."""
+        infections = self.infections_by_like + self.infections_by_dislike
+        total = infections.sum()
+        if total == 0:
+            return 0.0
+        hops = np.arange(len(infections))
+        return float((hops * infections).sum() / total)
+
+
+def hops_breakdown(log: DisseminationLog) -> HopsBreakdown:
+    """Compute Figure 6's series from the event log.
+
+    *Forwards* count forwarding actions at each hop distance, split by the
+    forwarder's opinion; *infections* count first receipts at each hop
+    distance, split by the opinion of the node that forwarded the copy
+    (``via_like``).
+    """
+    arr = log.arrays()
+    max_hops = 0
+    if len(arr["f_hops"]):
+        max_hops = max(max_hops, int(arr["f_hops"].max()))
+    if len(arr["d_hops"]):
+        max_hops = max(max_hops, int(arr["d_hops"].max()))
+    size = max_hops + 1
+
+    def _series(hops: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        return np.bincount(hops[mask], minlength=size).astype(np.int64)
+
+    f_liked = arr["f_liked"]
+    d_via = arr["d_via_like"]
+    return HopsBreakdown(
+        forwards_by_like=_series(arr["f_hops"], f_liked),
+        forwards_by_dislike=_series(arr["f_hops"], ~f_liked),
+        infections_by_like=_series(arr["d_hops"], d_via),
+        infections_by_dislike=_series(arr["d_hops"], ~d_via),
+    )
+
+
+def recall_vs_popularity(
+    reached: np.ndarray,
+    likes: np.ndarray,
+    n_bins: int = 10,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Figure 10: per-item recall binned by item popularity.
+
+    Returns ``(bin_centres, mean_recall_per_bin, item_fraction_per_bin)``;
+    bins with no items carry NaN recall.
+    """
+    reached = np.asarray(reached, dtype=bool)
+    likes = np.asarray(likes, dtype=bool)
+    n_users = likes.shape[0]
+    popularity = likes.sum(axis=0) / n_users
+    tp = (reached & likes).sum(axis=0).astype(np.float64)
+    interested = likes.sum(axis=0).astype(np.float64)
+    recall = np.divide(tp, interested, out=np.zeros_like(tp), where=interested > 0)
+
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    centres = (edges[:-1] + edges[1:]) / 2.0
+    mean_recall = np.full(n_bins, np.nan)
+    fraction = np.zeros(n_bins)
+    idx = np.clip(np.digitize(popularity, edges) - 1, 0, n_bins - 1)
+    for b in range(n_bins):
+        mask = idx == b
+        if mask.any():
+            mean_recall[b] = float(recall[mask].mean())
+            fraction[b] = float(mask.mean())
+    return centres, mean_recall, fraction
+
+
+def sociability(likes: np.ndarray, k: int = 15, metric: str = "cosine") -> np.ndarray:
+    """Per-user sociability (Figure 11).
+
+    "We define sociability as the ability of a node to exhibit a profile
+    that is close to others, and compute it as the node's average
+    similarity with respect to the 15 nodes that are most similar to it."
+    Computed over the ground-truth like matrix.
+    """
+    likes = np.asarray(likes, dtype=bool)
+    sims = similarity_matrix(likes, np.ones_like(likes), metric)
+    np.fill_diagonal(sims, -np.inf)
+    n_users = likes.shape[0]
+    k = min(k, n_users - 1)
+    if k <= 0:
+        return np.zeros(n_users)
+    top = np.sort(sims, axis=1)[:, -k:]
+    return top.mean(axis=1)
+
+
+def f1_vs_sociability(
+    reached: np.ndarray,
+    likes: np.ndarray,
+    *,
+    k: int = 15,
+    n_bins: int = 10,
+    metric: str = "cosine",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Figure 11: per-user F1 binned by sociability.
+
+    Returns ``(bin_centres, mean_f1_per_bin, node_fraction_per_bin)``.
+    """
+    soc = sociability(likes, k=k, metric=metric)
+    _, _, f1 = per_user_scores(reached, likes)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    centres = (edges[:-1] + edges[1:]) / 2.0
+    mean_f1 = np.full(n_bins, np.nan)
+    fraction = np.zeros(n_bins)
+    idx = np.clip(np.digitize(soc, edges) - 1, 0, n_bins - 1)
+    for b in range(n_bins):
+        mask = idx == b
+        if mask.any():
+            mean_f1[b] = float(f1[mask].mean())
+            fraction[b] = float(mask.mean())
+    return centres, mean_f1, fraction

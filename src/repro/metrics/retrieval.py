@@ -1,0 +1,116 @@
+"""Information-retrieval metrics (paper Section IV-C).
+
+The paper evaluates dissemination quality with the classic retrieval
+triple:
+
+.. math::
+
+    \\mathrm{Precision} = \\frac{|interested \\cap reached|}{|reached|},\\quad
+    \\mathrm{Recall} = \\frac{|interested \\cap reached|}{|interested|},\\quad
+    F_1 = \\frac{2 P R}{P + R}
+
+computed from the ground-truth interest matrix (``likes``) and the delivery
+matrix (``reached``).  Two aggregations are provided:
+
+* **micro** (default): pools every (user, item) pair — what a single global
+  confusion matrix would give;
+* **per-item**: computes the triple per item and averages — item-balanced,
+  used by the popularity analysis (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetrievalScores", "evaluate_dissemination", "per_item_scores", "per_user_scores"]
+
+
+@dataclass(frozen=True)
+class RetrievalScores:
+    """A precision/recall/F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    @staticmethod
+    def from_counts(tp: float, n_reached: float, n_interested: float) -> "RetrievalScores":
+        """Build scores from raw counts (zero-safe)."""
+        precision = tp / n_reached if n_reached > 0 else 0.0
+        recall = tp / n_interested if n_interested > 0 else 0.0
+        denom = precision + recall
+        f1 = 2.0 * precision * recall / denom if denom > 0 else 0.0
+        return RetrievalScores(precision, recall, f1)
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.precision, self.recall, self.f1)
+
+
+def _check_shapes(reached: np.ndarray, likes: np.ndarray) -> None:
+    if reached.shape != likes.shape:
+        raise ValueError(
+            f"reached shape {reached.shape} != likes shape {likes.shape}"
+        )
+
+
+def evaluate_dissemination(
+    reached: np.ndarray, likes: np.ndarray
+) -> RetrievalScores:
+    """Micro-averaged precision/recall/F1 over all (user, item) pairs."""
+    reached = np.asarray(reached, dtype=bool)
+    likes = np.asarray(likes, dtype=bool)
+    _check_shapes(reached, likes)
+    tp = float((reached & likes).sum())
+    return RetrievalScores.from_counts(tp, float(reached.sum()), float(likes.sum()))
+
+
+def per_item_scores(
+    reached: np.ndarray, likes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-item precision, recall and F1 arrays (columns = items)."""
+    reached = np.asarray(reached, dtype=bool)
+    likes = np.asarray(likes, dtype=bool)
+    _check_shapes(reached, likes)
+    tp = (reached & likes).sum(axis=0).astype(np.float64)
+    n_reached = reached.sum(axis=0).astype(np.float64)
+    n_interested = likes.sum(axis=0).astype(np.float64)
+    precision = np.divide(
+        tp, n_reached, out=np.zeros_like(tp), where=n_reached > 0
+    )
+    recall = np.divide(
+        tp, n_interested, out=np.zeros_like(tp), where=n_interested > 0
+    )
+    denom = precision + recall
+    f1 = np.divide(
+        2.0 * precision * recall, denom, out=np.zeros_like(tp), where=denom > 0
+    )
+    return precision, recall, f1
+
+
+def per_user_scores(
+    reached: np.ndarray, likes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-user precision, recall and F1 arrays (rows = users).
+
+    Used by the sociability analysis (Figure 11): how well does the system
+    serve each individual user?
+    """
+    reached = np.asarray(reached, dtype=bool)
+    likes = np.asarray(likes, dtype=bool)
+    _check_shapes(reached, likes)
+    tp = (reached & likes).sum(axis=1).astype(np.float64)
+    n_reached = reached.sum(axis=1).astype(np.float64)
+    n_interested = likes.sum(axis=1).astype(np.float64)
+    precision = np.divide(
+        tp, n_reached, out=np.zeros_like(tp), where=n_reached > 0
+    )
+    recall = np.divide(
+        tp, n_interested, out=np.zeros_like(tp), where=n_interested > 0
+    )
+    denom = precision + recall
+    f1 = np.divide(
+        2.0 * precision * recall, denom, out=np.zeros_like(tp), where=denom > 0
+    )
+    return precision, recall, f1

@@ -1,0 +1,106 @@
+"""Dissemination-latency metrics.
+
+The paper's footnote 1 defers "a precise analysis of dissemination latency"
+to future work, noting only that the small hop counts of Figure 6 imply
+fast dissemination.  These metrics complete that analysis over the event
+log: every delivery's *latency* is the number of cycles between its item's
+publication and its receipt (equal to its hop count under the default
+one-hop-per-cycle model; larger under
+:class:`~repro.network.transport.LatencyTransport`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simulation.events import DisseminationLog
+
+__all__ = ["LatencySummary", "delivery_latencies", "latency_summary", "time_to_audience"]
+
+
+def delivery_latencies(
+    log: DisseminationLog,
+    publication_cycles: np.ndarray,
+    *,
+    liked_only: bool = False,
+) -> np.ndarray:
+    """Per-delivery latency in cycles.
+
+    Parameters
+    ----------
+    log:
+        The run's event log.
+    publication_cycles:
+        ``publication_cycles[i]`` is the cycle item *i* was published.
+    liked_only:
+        Restrict to deliveries the receiver liked (the latency users care
+        about).
+    """
+    arr = log.arrays()
+    mask = arr["d_liked"] if liked_only else np.ones(len(arr["d_item"]), dtype=bool)
+    pub = np.asarray(publication_cycles)
+    return arr["d_cycle"][mask] - pub[arr["d_item"][mask]]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Distribution summary of delivery latencies (cycles)."""
+
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    max: float
+
+    def as_row(self) -> tuple[float, float, float, float, float]:
+        return (self.mean, self.median, self.p90, self.p99, self.max)
+
+
+def latency_summary(
+    log: DisseminationLog,
+    publication_cycles: np.ndarray,
+    *,
+    liked_only: bool = True,
+) -> LatencySummary:
+    """Summarise delivery latency (liked deliveries by default)."""
+    lat = delivery_latencies(log, publication_cycles, liked_only=liked_only)
+    if len(lat) == 0:
+        return LatencySummary(0.0, 0.0, 0.0, 0.0, 0.0)
+    return LatencySummary(
+        mean=float(lat.mean()),
+        median=float(np.median(lat)),
+        p90=float(np.percentile(lat, 90)),
+        p99=float(np.percentile(lat, 99)),
+        max=float(lat.max()),
+    )
+
+
+def time_to_audience(
+    log: DisseminationLog,
+    publication_cycles: np.ndarray,
+    n_items: int,
+    fraction: float = 0.9,
+) -> np.ndarray:
+    """Per-item cycles until *fraction* of its final audience was reached.
+
+    Items that never reached anyone beyond their source report 0.  This is
+    the "how quickly does an item saturate" view of dissemination speed.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    arr = log.arrays()
+    pub = np.asarray(publication_cycles)
+    out = np.zeros(n_items, dtype=np.int64)
+    order = np.argsort(arr["d_cycle"], kind="stable")
+    items = arr["d_item"][order]
+    cycles = arr["d_cycle"][order]
+    for i in range(n_items):
+        mask = items == i
+        if not mask.any():
+            continue
+        item_cycles = cycles[mask]
+        k = max(1, int(np.ceil(fraction * len(item_cycles))))
+        out[i] = int(item_cycles[k - 1] - pub[i])
+    return out

@@ -1,0 +1,36 @@
+"""Simulated network substrate.
+
+The paper evaluates WHATSUP in three settings: event-driven simulation, a
+ModelNet-emulated cluster with injected message loss (Table VI), and a
+PlanetLab deployment whose overloaded nodes drop a significant fraction of
+incoming traffic (Figure 8a).  This subpackage models all three:
+
+* :mod:`repro.network.message` — the envelope the engine routes, with a
+  byte-accurate wire-size model used for the bandwidth analysis (Fig. 8b);
+* :mod:`repro.network.transport` — pluggable delivery models: perfect,
+  uniform random loss (ModelNet), and heterogeneous per-node loss with
+  bounded inboxes (PlanetLab);
+* :mod:`repro.network.stats` — traffic accounting (messages/bytes per
+  protocol, bandwidth conversion).
+"""
+
+from repro.network.message import Envelope, MessageKind
+from repro.network.stats import TrafficStats
+from repro.network.transport import (
+    LatencyTransport,
+    PerfectTransport,
+    PlanetLabTransport,
+    Transport,
+    UniformLossTransport,
+)
+
+__all__ = [
+    "Envelope",
+    "MessageKind",
+    "TrafficStats",
+    "Transport",
+    "PerfectTransport",
+    "UniformLossTransport",
+    "PlanetLabTransport",
+    "LatencyTransport",
+]

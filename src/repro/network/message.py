@@ -1,0 +1,57 @@
+"""Message envelopes routed by the simulation engine.
+
+Every unicast transmission — an RPS shuffle request, a WUP view exchange, or
+a BEEP item forward — travels in an :class:`Envelope` that records sender,
+target, protocol kind and modelled wire size.  The wire size feeds the
+bandwidth analysis of Figure 8b; the kind feeds the per-protocol traffic
+split (BEEP dominates, WUP stays near-constant).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["MessageKind", "Envelope"]
+
+
+class MessageKind(enum.Enum):
+    """Protocol family of a message, for traffic accounting."""
+
+    RPS = "rps"
+    WUP = "wup"
+    ITEM = "item"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One unicast transmission.
+
+    Attributes
+    ----------
+    sender / target:
+        Node identifiers.
+    kind:
+        Protocol family (:class:`MessageKind`).
+    payload:
+        The protocol message object (``RpsMessage``, ``ClusteringMessage``
+        or ``ItemCopy``); the engine passes it to the target's handler
+        verbatim.
+    size_bytes:
+        Modelled serialized size, computed by the payload's ``wire_size``.
+    via_like:
+        For item messages only: whether the sender forwarded the item
+        because they *liked* it (BEEP amplification) as opposed to the
+        dislike/serendipity path.  Used by the Figure 6 and Table IV
+        analyses; ``None`` for gossip messages.
+    """
+
+    sender: int
+    target: int
+    kind: MessageKind
+    payload: object
+    size_bytes: int
+    via_like: bool | None = None

@@ -1,0 +1,262 @@
+"""Transport models: perfect, ModelNet-style uniform loss, PlanetLab-style.
+
+The paper's robustness evaluation manipulates message delivery in two ways:
+
+* **ModelNet emulation** (Section V-E, Table VI): a uniform message-loss
+  rate from 0% to 50% applied to both BEEP and WUP messages —
+  :class:`UniformLossTransport`;
+* **PlanetLab deployment** (Section V-D, Figure 8a): heterogeneous losses —
+  "nodes do not receive up to 30% of the news that are correctly sent to
+  them ... due to network-level losses and to the high load of some
+  PlanetLab nodes, which causes congestion of incoming message queues" —
+  :class:`PlanetLabTransport` models this with a small uniform network loss
+  plus a fraction of *overloaded* nodes whose bounded per-cycle inboxes drop
+  the excess.
+
+A transport decides, per envelope, whether delivery succeeds.  It never
+reorders or duplicates (the protocols tolerate loss, which is the property
+under study).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from typing import Iterable
+
+import numpy as np
+
+from repro.network.message import Envelope, MessageKind
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "Transport",
+    "PerfectTransport",
+    "UniformLossTransport",
+    "PlanetLabTransport",
+    "LatencyTransport",
+]
+
+
+class Transport(ABC):
+    """Delivery model interface."""
+
+    def setup(self, node_ids: Iterable[int], rng: np.random.Generator) -> None:
+        """One-time initialisation with the node population (optional)."""
+
+    def begin_cycle(self) -> None:
+        """Reset per-cycle state (e.g. congestion counters) (optional)."""
+
+    @abstractmethod
+    def attempt(self, envelope: Envelope, rng: np.random.Generator) -> bool:
+        """Return ``True`` when *envelope* reaches its target."""
+
+    def delay(self, envelope: Envelope, rng: np.random.Generator) -> int:
+        """Cycles until a delivered item message reaches its target.
+
+        The default of 1 is the paper's simulation model (one hop per
+        cycle); :class:`LatencyTransport` adds heterogeneous delays.
+        Only item messages are delayed — gossip exchanges complete within
+        their cycle, as in cycle-based gossip simulators.
+        """
+        return 1
+
+
+class PerfectTransport(Transport):
+    """Lossless delivery (the paper's pure-simulation setting)."""
+
+    def attempt(self, envelope: Envelope, rng: np.random.Generator) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "PerfectTransport()"
+
+
+class UniformLossTransport(Transport):
+    """Uniform i.i.d. message loss (the ModelNet experiments, Table VI).
+
+    Parameters
+    ----------
+    loss_rate:
+        Probability that any given message is dropped, applied uniformly to
+        every protocol (the paper injects loss into "both BEEP and WUP
+        messages").
+    """
+
+    def __init__(self, loss_rate: float) -> None:
+        check_probability("loss_rate", loss_rate)
+        self.loss_rate = float(loss_rate)
+
+    def attempt(self, envelope: Envelope, rng: np.random.Generator) -> bool:
+        if self.loss_rate == 0.0:
+            return True
+        return rng.random() >= self.loss_rate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformLossTransport(loss_rate={self.loss_rate})"
+
+
+class PlanetLabTransport(Transport):
+    """Heterogeneous loss with overloaded hotspots (the PlanetLab setting).
+
+    A fraction of nodes is *overloaded*: their incoming message queue holds
+    at most ``inbox_capacity`` item messages per cycle and every excess
+    message is dropped; additionally every message to an overloaded node is
+    dropped with ``overloaded_loss`` probability (CPU starvation), and every
+    message anywhere suffers a small ``base_loss`` (network-level loss).
+
+    With the defaults, small fanouts lose a substantial share of deliveries
+    (recall collapses, as in Figure 8a's PlanetLab curve at fanout ≤ 5)
+    while larger fanouts recover through gossip redundancy.
+
+    Parameters
+    ----------
+    overloaded_fraction:
+        Fraction of nodes designated overloaded at :meth:`setup` time.
+    overloaded_loss:
+        Per-message drop probability for messages addressed to an
+        overloaded node.
+    base_loss:
+        Uniform network-level loss applied to all messages.
+    inbox_capacity:
+        Item messages an overloaded node can absorb per cycle before its
+        queue congests; ``0`` disables the queue model.
+    """
+
+    def __init__(
+        self,
+        overloaded_fraction: float = 0.3,
+        overloaded_loss: float = 0.25,
+        base_loss: float = 0.02,
+        inbox_capacity: int = 40,
+    ) -> None:
+        check_probability("overloaded_fraction", overloaded_fraction)
+        check_probability("overloaded_loss", overloaded_loss)
+        check_probability("base_loss", base_loss)
+        if inbox_capacity < 0:
+            raise ValueError(f"inbox_capacity must be >= 0, got {inbox_capacity}")
+        self.overloaded_fraction = float(overloaded_fraction)
+        self.overloaded_loss = float(overloaded_loss)
+        self.base_loss = float(base_loss)
+        self.inbox_capacity = int(inbox_capacity)
+        self._overloaded: set[int] = set()
+        self._inbox_counts: dict[int, int] = defaultdict(int)
+
+    def setup(self, node_ids: Iterable[int], rng: np.random.Generator) -> None:
+        ids = list(node_ids)
+        k = int(round(self.overloaded_fraction * len(ids)))
+        if k > 0:
+            chosen = rng.choice(len(ids), size=k, replace=False)
+            self._overloaded = {ids[int(i)] for i in chosen}
+        else:
+            self._overloaded = set()
+
+    def begin_cycle(self) -> None:
+        self._inbox_counts.clear()
+
+    @property
+    def overloaded_nodes(self) -> frozenset[int]:
+        """The node ids designated overloaded at setup."""
+        return frozenset(self._overloaded)
+
+    def attempt(self, envelope: Envelope, rng: np.random.Generator) -> bool:
+        if self.base_loss and rng.random() < self.base_loss:
+            return False
+        if envelope.target in self._overloaded:
+            if self.overloaded_loss and rng.random() < self.overloaded_loss:
+                return False
+            if self.inbox_capacity and envelope.kind is MessageKind.ITEM:
+                count = self._inbox_counts[envelope.target] + 1
+                self._inbox_counts[envelope.target] = count
+                if count > self.inbox_capacity:
+                    return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            "PlanetLabTransport("
+            f"overloaded_fraction={self.overloaded_fraction}, "
+            f"overloaded_loss={self.overloaded_loss}, "
+            f"base_loss={self.base_loss}, "
+            f"inbox_capacity={self.inbox_capacity})"
+        )
+
+
+class LatencyTransport(Transport):
+    """Heterogeneous per-message delivery delays on top of any loss model.
+
+    The paper's cycle-based simulations deliver every forwarded item at the
+    next cycle (footnote 1 defers "a precise analysis of dissemination
+    latency" to future work).  This wrapper implements that analysis: item
+    messages take ``1 + Geometric(p) - 1`` cycles (a geometric tail over a
+    one-cycle minimum), optionally stretched for a slow fraction of links,
+    so the latency experiments (``ext-latency``) can study how opinion-
+    driven amplification affects *when* — not just whether — interested
+    users are reached.
+
+    Parameters
+    ----------
+    inner:
+        The underlying loss model (default: perfect delivery).
+    tail:
+        Parameter of the geometric tail; larger means snappier links.
+        ``tail=1.0`` restores the fixed one-cycle delay.
+    slow_fraction / slow_multiplier:
+        A random fraction of *target nodes* is "far away" (WAN links);
+        their delays are multiplied.
+    """
+
+    def __init__(
+        self,
+        inner: Transport | None = None,
+        *,
+        tail: float = 0.6,
+        slow_fraction: float = 0.0,
+        slow_multiplier: int = 3,
+    ) -> None:
+        from repro.utils.validation import check_fraction
+
+        check_fraction("tail", tail)
+        check_probability("slow_fraction", slow_fraction)
+        if slow_multiplier < 1:
+            raise ValueError(
+                f"slow_multiplier must be >= 1, got {slow_multiplier}"
+            )
+        self.inner = inner if inner is not None else PerfectTransport()
+        self.tail = float(tail)
+        self.slow_fraction = float(slow_fraction)
+        self.slow_multiplier = int(slow_multiplier)
+        self._slow_nodes: set[int] = set()
+
+    def setup(self, node_ids: Iterable[int], rng: np.random.Generator) -> None:
+        ids = list(node_ids)
+        self.inner.setup(ids, rng)
+        k = int(round(self.slow_fraction * len(ids)))
+        if k > 0:
+            chosen = rng.choice(len(ids), size=k, replace=False)
+            self._slow_nodes = {ids[int(i)] for i in chosen}
+        else:
+            self._slow_nodes = set()
+
+    def begin_cycle(self) -> None:
+        self.inner.begin_cycle()
+
+    def attempt(self, envelope: Envelope, rng: np.random.Generator) -> bool:
+        return self.inner.attempt(envelope, rng)
+
+    def delay(self, envelope: Envelope, rng: np.random.Generator) -> int:
+        d = int(rng.geometric(self.tail))  # >= 1
+        if envelope.target in self._slow_nodes:
+            d *= self.slow_multiplier
+        return d
+
+    @property
+    def slow_nodes(self) -> frozenset[int]:
+        """Targets designated slow at setup."""
+        return frozenset(self._slow_nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LatencyTransport(inner={self.inner!r}, tail={self.tail}, "
+            f"slow_fraction={self.slow_fraction})"
+        )

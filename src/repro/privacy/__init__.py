@@ -1,0 +1,31 @@
+"""Privacy extensions (paper Section VII, future work).
+
+The paper's conclusion sketches two directions the authors explored but did
+not evaluate in the published text:
+
+* **profile obfuscation** — "hide the exact tastes of users", trading
+  recommendation accuracy for disclosure
+  (:mod:`repro.privacy.obfuscation`);
+* **proxy-based exchanges** — "a proxy-based solution inspired by Onion
+  routing to anonymize both the exchange of user profiles and news
+  dissemination ... unchanged recommendation quality at the cost of
+  increased bandwidth consumption" (:mod:`repro.privacy.proxy`).
+
+Both are implemented as drop-in components over the standard stack so the
+``ext-privacy`` benchmark can quantify the trade-offs the paper describes
+qualitatively.
+"""
+
+from repro.privacy.obfuscation import (
+    ObfuscatingWhatsUpNode,
+    obfuscate_snapshot,
+    obfuscated_whatsup_system,
+)
+from repro.privacy.proxy import OnionRoutedTransport
+
+__all__ = [
+    "ObfuscatingWhatsUpNode",
+    "obfuscate_snapshot",
+    "obfuscated_whatsup_system",
+    "OnionRoutedTransport",
+]

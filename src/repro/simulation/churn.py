@@ -1,0 +1,90 @@
+"""Node churn injection.
+
+The paper claims gossip's hallmark robustness ("preserving the fundamental
+advantages of standard gossip: simplicity of deployment and robustness") and
+demonstrates message-loss tolerance; our extension benchmarks additionally
+stress WHATSUP under *churn* — nodes crashing and rejoining — which the
+underlying RPS layer is designed to absorb (dead descriptors age out and are
+replaced through shuffling).
+
+:class:`ChurnModel` kills each alive node independently per cycle with a
+fixed probability and optionally revives it a fixed number of cycles later.
+A revived node keeps its profile (it is the same user) but its views have
+aged — exactly the "inactive user" scenario of Section II-E.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.utils.validation import check_non_negative, check_probability
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.engine import CycleEngine
+
+__all__ = ["ChurnModel"]
+
+
+class ChurnModel:
+    """Random kill/rejoin process.
+
+    Parameters
+    ----------
+    kill_rate:
+        Per-cycle probability that an alive node crashes.
+    rejoin_after:
+        Cycles a crashed node stays down; ``None`` → crashes are permanent.
+    start_cycle:
+        First cycle at which churn applies (lets the overlay warm up first).
+    protected:
+        Node ids never killed (e.g. the sources of a workload, so that
+        publications are not silently dropped and runs stay comparable).
+    """
+
+    def __init__(
+        self,
+        kill_rate: float,
+        rejoin_after: int | None = None,
+        start_cycle: int = 0,
+        protected: frozenset[int] | set[int] = frozenset(),
+    ) -> None:
+        check_probability("kill_rate", kill_rate)
+        if rejoin_after is not None:
+            check_non_negative("rejoin_after", rejoin_after)
+        check_non_negative("start_cycle", start_cycle)
+        self.kill_rate = float(kill_rate)
+        self.rejoin_after = rejoin_after
+        self.start_cycle = int(start_cycle)
+        self.protected = frozenset(protected)
+        #: cycle -> node ids scheduled to revive then
+        self._revivals: dict[int, list[int]] = {}
+        self.total_kills = 0
+        self.total_rejoins = 0
+
+    def apply(self, engine: "CycleEngine", now: int) -> None:
+        """Kill and revive nodes for this cycle (engine hook)."""
+        # revivals first, so a node can rejoin the cycle it is due
+        for nid in self._revivals.pop(now, []):
+            node = engine.nodes.get(nid)
+            if node is not None and not node.alive:
+                node.alive = True
+                self.total_rejoins += 1
+
+        if now < self.start_cycle or self.kill_rate == 0.0:
+            return
+        rng = engine.streams.get("churn")
+        for nid in engine.alive_node_ids():
+            if nid in self.protected:
+                continue
+            if rng.random() < self.kill_rate:
+                engine.nodes[nid].alive = False
+                self.total_kills += 1
+                if self.rejoin_after is not None:
+                    due = now + self.rejoin_after
+                    self._revivals.setdefault(due, []).append(nid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChurnModel(kill_rate={self.kill_rate}, "
+            f"rejoin_after={self.rejoin_after}, kills={self.total_kills})"
+        )

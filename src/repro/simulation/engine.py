@@ -1,0 +1,322 @@
+"""The cycle-based simulation engine.
+
+Per cycle, in order (see DESIGN.md §3):
+
+1. transport per-cycle state resets (congestion counters);
+2. churn injection (optional) — kills and rejoins;
+3. the item inbox filled during the *previous* cycle becomes current;
+4. scheduled publications are injected at their sources;
+5. every alive node, in a freshly shuffled order, runs its gossip
+   maintenance (:meth:`~repro.simulation.node.BaseNode.begin_cycle`);
+   gossip request/reply pairs complete synchronously within the cycle,
+   subject to transport loss;
+6. every alive node drains its current inbox
+   (:meth:`~repro.simulation.node.BaseNode.receive_item`); forwards
+   triggered by these receipts are enqueued for the *next* cycle — one hop
+   per cycle, aligning hop counts with the paper's cycle time unit;
+7. cycle observers fire (used by the Figure 7 dynamics experiments).
+
+All loss, traffic accounting and event logging funnel through the engine's
+``gossip`` / ``send_item`` / ``log_*`` methods, so every protocol is measured
+identically.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable
+
+from repro.core.news import ItemCopy
+from repro.network.message import Envelope, MessageKind
+from repro.network.stats import TrafficStats
+from repro.network.transport import PerfectTransport, Transport
+from repro.simulation.events import DisseminationLog
+from repro.simulation.node import BaseNode
+from repro.simulation.schedule import PublicationSchedule
+from repro.utils.exceptions import SimulationError
+from repro.utils.rng import RngStreams
+
+__all__ = ["CycleEngine"]
+
+Observer = Callable[["CycleEngine", int], None]
+
+
+class CycleEngine:
+    """Drives a population of protocol nodes through gossip cycles.
+
+    Parameters
+    ----------
+    nodes:
+        The initial population.  More nodes may join later through
+        :meth:`add_node` (cold-start experiments).
+    schedule:
+        The publication schedule (also the authority on dense item indices).
+    transport:
+        Delivery model; defaults to :class:`PerfectTransport`.
+    streams:
+        Root randomness; the engine draws its ``engine-order`` (node
+        shuffling) and ``transport`` (loss decisions) streams from it.
+    churn:
+        Optional churn model with an ``apply(engine, cycle)`` method.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[BaseNode],
+        schedule: PublicationSchedule,
+        transport: Transport | None = None,
+        streams: RngStreams | None = None,
+        churn: "object | None" = None,
+    ) -> None:
+        self.nodes: dict[int, BaseNode] = {}
+        for node in nodes:
+            if node.node_id in self.nodes:
+                raise SimulationError(f"duplicate node id {node.node_id}")
+            self.nodes[node.node_id] = node
+        self.schedule = schedule
+        self.transport = transport if transport is not None else PerfectTransport()
+        self.streams = streams if streams is not None else RngStreams(0)
+        self.churn = churn
+
+        self._order_rng = self.streams.get("engine-order")
+        self._transport_rng = self.streams.get("transport")
+
+        self.stats = TrafficStats()
+        self.log = DisseminationLog()
+        self.now: int = 0
+        self.cycles_run: int = 0
+
+        #: arrival cycle -> node id -> [(sender, copy, via_like)]
+        self._future_inboxes: dict[int, dict[int, list[tuple[int, ItemCopy, bool]]]] = (
+            defaultdict(lambda: defaultdict(list))
+        )
+        self._observers: list[Observer] = []
+
+        self.transport.setup(self.nodes.keys(), self._transport_rng)
+
+    # ------------------------------------------------------------------ #
+    # population management                                               #
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, node: BaseNode) -> None:
+        """Add a node joining mid-run (its first cycle is the next one)."""
+        if node.node_id in self.nodes:
+            raise SimulationError(f"duplicate node id {node.node_id}")
+        self.nodes[node.node_id] = node
+
+    def alive_node_ids(self) -> list[int]:
+        """Ids of nodes currently alive."""
+        return [nid for nid, n in self.nodes.items() if n.alive]
+
+    def node(self, node_id: int) -> BaseNode:
+        """Look up a node by id."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"unknown node id {node_id}") from None
+
+    # ------------------------------------------------------------------ #
+    # routing (the only way nodes touch the network)                      #
+    # ------------------------------------------------------------------ #
+
+    def gossip(
+        self,
+        sender_id: int,
+        target_id: int,
+        payload: object,
+        kind: MessageKind,
+    ) -> None:
+        """Route one gossip request and, if any, its reply.
+
+        Both legs pass the transport's loss model independently; a lost
+        request silently ends the exchange (gossip protocols are designed
+        for exactly this).
+        """
+        size = payload.wire_size() if hasattr(payload, "wire_size") else 0
+        env = Envelope(sender_id, target_id, kind, payload, size)
+        target = self.nodes.get(target_id)
+        ok = (
+            target is not None
+            and target.alive
+            and self.transport.attempt(env, self._transport_rng)
+        )
+        self.stats.record(env, ok)
+        if not ok:
+            return
+        reply = target.on_gossip(payload, kind, self, self.now)
+        if reply is None:
+            return
+        rsize = reply.wire_size() if hasattr(reply, "wire_size") else 0
+        renv = Envelope(target_id, sender_id, kind, reply, rsize)
+        sender = self.nodes.get(sender_id)
+        rok = (
+            sender is not None
+            and sender.alive
+            and self.transport.attempt(renv, self._transport_rng)
+        )
+        self.stats.record(renv, rok)
+        if rok:
+            sender.on_gossip(reply, kind, self, self.now)
+
+    def send_item(
+        self,
+        sender_id: int,
+        target_id: int,
+        copy: ItemCopy,
+        via_like: bool,
+    ) -> None:
+        """Send one item copy.
+
+        Arrival is after ``transport.delay(...)`` cycles — 1 under the
+        paper's one-hop-per-cycle model, longer under
+        :class:`~repro.network.transport.LatencyTransport`.
+        """
+        env = Envelope(
+            sender_id,
+            target_id,
+            MessageKind.ITEM,
+            copy,
+            copy.wire_size(),
+            via_like=via_like,
+        )
+        target = self.nodes.get(target_id)
+        ok = (
+            target is not None
+            and target.alive
+            and self.transport.attempt(env, self._transport_rng)
+        )
+        self.stats.record(env, ok)
+        if ok:
+            delay = max(1, int(self.transport.delay(env, self._transport_rng)))
+            self._future_inboxes[self.now + delay][target_id].append(
+                (sender_id, copy, via_like)
+            )
+
+    # ------------------------------------------------------------------ #
+    # event logging (called by node implementations)                      #
+    # ------------------------------------------------------------------ #
+
+    def log_delivery(
+        self,
+        node_id: int,
+        copy: ItemCopy,
+        liked: bool,
+        via_like: bool,
+    ) -> None:
+        """Record a first receipt (including the publisher's own, hops=0)."""
+        self.log.log_delivery(
+            self.schedule.index_of(copy.item.item_id),
+            node_id,
+            self.now,
+            copy.hops,
+            copy.dislikes,
+            liked,
+            via_like,
+        )
+
+    def log_duplicate(self) -> None:
+        """Record a duplicate receipt (dropped per SIR)."""
+        self.log.log_duplicate()
+
+    def log_forward(
+        self,
+        node_id: int,
+        copy: ItemCopy,
+        liked: bool,
+        n_targets: int,
+    ) -> None:
+        """Record one forwarding action with its realised fanout."""
+        self.log.log_forward(
+            self.schedule.index_of(copy.item.item_id),
+            node_id,
+            self.now,
+            copy.hops,
+            liked,
+            n_targets,
+        )
+
+    # ------------------------------------------------------------------ #
+    # observers                                                           #
+    # ------------------------------------------------------------------ #
+
+    def add_observer(self, fn: Observer) -> None:
+        """Register a callback fired after every cycle: ``fn(engine, cycle)``."""
+        self._observers.append(fn)
+
+    # ------------------------------------------------------------------ #
+    # the cycle loop                                                      #
+    # ------------------------------------------------------------------ #
+
+    def run(self, n_cycles: int) -> None:
+        """Advance the simulation by *n_cycles* cycles."""
+        for _ in range(n_cycles):
+            self._run_cycle()
+
+    def run_until_drained(self, max_extra: int = 200) -> int:
+        """Run past the schedule until no item messages remain in flight.
+
+        Returns the number of extra cycles executed.  Used by experiments to
+        let dissemination complete after the last publication.
+        """
+        extra = 0
+        while extra < max_extra:
+            if self.now > self.schedule.last_cycle and not self._future_inboxes:
+                break
+            self._run_cycle()
+            extra += 1
+        return extra
+
+    def _run_cycle(self) -> None:
+        now = self.now
+        self.transport.begin_cycle()
+        if self.churn is not None:
+            self.churn.apply(self, now)
+
+        # messages whose delay expires this cycle become deliverable
+        inbox = self._future_inboxes.pop(now, {})
+
+        # publications (skipped silently if the source is dead under churn)
+        for item in self.schedule.items_at(now):
+            source = self.nodes.get(item.source)
+            if source is not None and source.alive:
+                source.publish(item, self, now)
+
+        # gossip maintenance, fresh random order each cycle
+        ids = self.alive_node_ids()
+        self._order_rng.shuffle(ids)
+        for nid in ids:
+            node = self.nodes[nid]
+            if node.alive:  # may have been killed by a same-cycle exchange
+                node.begin_cycle(self, now)
+
+        # item deliveries from the previous cycle
+        delivery_ids = [nid for nid in inbox if nid in self.nodes]
+        self._order_rng.shuffle(delivery_ids)
+        for nid in delivery_ids:
+            node = self.nodes[nid]
+            if not node.alive:
+                continue
+            for _sender, copy, via_like in inbox[nid]:
+                node.receive_item(copy, via_like, self, now)
+
+        for fn in self._observers:
+            fn(self, now)
+
+        self.now += 1
+        self.cycles_run += 1
+
+    # ------------------------------------------------------------------ #
+
+    def pending_item_messages(self) -> int:
+        """Item copies currently in flight (any future arrival cycle)."""
+        return sum(
+            len(copies)
+            for per_node in self._future_inboxes.values()
+            for copies in per_node.values()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CycleEngine(nodes={len(self.nodes)}, now={self.now}, "
+            f"pending={self.pending_item_messages()})"
+        )

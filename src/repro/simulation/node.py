@@ -1,0 +1,78 @@
+"""The protocol-node interface.
+
+Every system under test — WHATSUP, the CF baselines, homogeneous gossip,
+cascading — implements :class:`BaseNode`.  The engine drives nodes through
+four callbacks and nodes act on the network exclusively through the engine's
+routing methods (``engine.gossip`` and ``engine.send_item``), which apply
+the transport's loss model and account traffic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING
+
+from repro.core.news import ItemCopy, NewsItem
+from repro.network.message import MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulation.engine import CycleEngine
+
+__all__ = ["BaseNode"]
+
+
+class BaseNode(ABC):
+    """One simulated participant.
+
+    Subclasses hold all protocol state (views, profiles, seen-item sets).
+    The engine guarantees:
+
+    * :meth:`begin_cycle` is called once per cycle while the node is alive,
+      before any item deliveries of that cycle;
+    * :meth:`receive_item` is called once per *delivered* item copy; copies
+      sent in cycle *t* arrive in cycle *t + 1*;
+    * :meth:`on_gossip` is called synchronously within a partner's
+      :meth:`begin_cycle` when a gossip message survives the transport.
+    """
+
+    __slots__ = ("node_id", "alive")
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        #: dead nodes receive nothing and take no actions (churn model)
+        self.alive = True
+
+    @abstractmethod
+    def begin_cycle(self, engine: "CycleEngine", now: int) -> None:
+        """Run periodic maintenance (gossip exchanges) for this cycle."""
+
+    def on_gossip(
+        self,
+        msg: object,
+        kind: MessageKind,
+        engine: "CycleEngine",
+        now: int,
+    ) -> object | None:
+        """Handle a gossip message; return a reply payload or ``None``.
+
+        Default: ignore gossip (systems without overlay maintenance).
+        """
+        return None
+
+    @abstractmethod
+    def receive_item(
+        self,
+        copy: ItemCopy,
+        via_like: bool,
+        engine: "CycleEngine",
+        now: int,
+    ) -> None:
+        """Handle the delivery of one item copy.
+
+        Implementations must log the receipt via ``engine.note_receipt`` so
+        duplicates are counted and metrics see every delivery.
+        """
+
+    @abstractmethod
+    def publish(self, item: NewsItem, engine: "CycleEngine", now: int) -> None:
+        """Publish a fresh item (this node is the source)."""

@@ -1,0 +1,105 @@
+"""Publication schedules.
+
+A workload assigns every news item a publisher (source node) and a
+publication cycle.  The schedule spreads the items of a dataset over an
+initial window of cycles — the paper's deployment publishes "5 news items per
+cycle"; its simulations spread each community's items over the run — followed
+by drain cycles during which no new items appear but dissemination completes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Sequence
+
+from repro.core.news import NewsItem
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["PublicationSchedule"]
+
+
+class PublicationSchedule:
+    """Cycle-indexed publication plan.
+
+    Parameters
+    ----------
+    publications:
+        Iterable of ``(cycle, news_item)`` pairs.  The item's ``created_at``
+        should equal the cycle (the engine asserts this at injection time).
+    """
+
+    def __init__(self, publications: Iterable[tuple[int, NewsItem]]) -> None:
+        self._by_cycle: dict[int, list[NewsItem]] = defaultdict(list)
+        self._items: list[NewsItem] = []
+        self._index_of: dict[int, int] = {}
+        for cycle, item in publications:
+            if cycle < 0:
+                raise ConfigurationError(
+                    f"publication cycle must be >= 0, got {cycle}"
+                )
+            if item.item_id in self._index_of:
+                raise ConfigurationError(
+                    f"duplicate publication of item {item.item_id:#x}"
+                )
+            self._by_cycle[cycle].append(item)
+            self._index_of[item.item_id] = len(self._items)
+            self._items.append(item)
+
+    @staticmethod
+    def uniform(
+        items: Sequence[NewsItem], publish_cycles: int
+    ) -> "PublicationSchedule":
+        """Spread *items* evenly over ``[0, publish_cycles)`` in list order.
+
+        Items must have been created with ``created_at`` equal to the cycle
+        this spreading assigns; dataset generators use
+        :meth:`publication_cycle_of` to coordinate.
+        """
+        if publish_cycles <= 0:
+            raise ConfigurationError(
+                f"publish_cycles must be > 0, got {publish_cycles}"
+            )
+        return PublicationSchedule(
+            (PublicationSchedule.publication_cycle_of(i, len(items), publish_cycles), item)
+            for i, item in enumerate(items)
+        )
+
+    @staticmethod
+    def publication_cycle_of(index: int, n_items: int, publish_cycles: int) -> int:
+        """The cycle at which the *index*-th of *n_items* items appears."""
+        if n_items <= 0:
+            raise ConfigurationError("n_items must be > 0")
+        return min(int(index * publish_cycles / n_items), publish_cycles - 1)
+
+    # -- queries ------------------------------------------------------------
+
+    def items_at(self, cycle: int) -> list[NewsItem]:
+        """Items published at *cycle* (possibly empty)."""
+        return self._by_cycle.get(cycle, [])
+
+    @property
+    def items(self) -> list[NewsItem]:
+        """All items, in workload order (dense item indices follow this)."""
+        return self._items
+
+    def index_of(self, item_id: int) -> int:
+        """Dense index of an item id (raises ``KeyError`` if unknown)."""
+        return self._index_of[item_id]
+
+    @property
+    def n_items(self) -> int:
+        return len(self._items)
+
+    @property
+    def last_cycle(self) -> int:
+        """The latest cycle with a publication (0 when empty)."""
+        return max(self._by_cycle, default=0)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PublicationSchedule(items={len(self._items)}, "
+            f"last_cycle={self.last_cycle})"
+        )

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the WHATSUP reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of ``repro`` with a single ``except`` clause
+while still being able to distinguish configuration mistakes from runtime
+protocol violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter value or an inconsistent parameter combination.
+
+    Raised eagerly at construction time (e.g. a negative fanout, a WUP view
+    smaller than ``fLIKE``, a probability outside ``[0, 1]``) so that a bad
+    experiment fails before any cycles are simulated.
+    """
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset generator or loader received impossible parameters.
+
+    Examples: more communities than users, a zero-item workload, or a
+    ground-truth matrix whose shape disagrees with the declared user count.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulation engine reached an inconsistent state.
+
+    This indicates a bug in a protocol implementation (e.g. a node forwarding
+    to an unknown peer id) rather than a user mistake.
+    """
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """A gossip/dissemination protocol violated one of its own invariants.
+
+    Example: a BEEP copy whose dislike counter exceeds the configured TTL, or
+    a view that grew beyond its capacity.
+    """

@@ -1,0 +1,99 @@
+"""Plain-text table rendering for paper-style experiment reports.
+
+The benchmark harness reproduces the paper's tables (Table III-VI) and the
+data series behind its figures.  Rather than depending on a plotting stack,
+every experiment prints an aligned text table; these helpers implement that
+formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_distribution"]
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = ".3f",
+) -> str:
+    """Render *rows* as an aligned, pipe-separated text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; cells may be strings, ints, floats or
+        bools.  Floats are formatted with *float_fmt*.
+    title:
+        Optional table caption printed above the header.
+    float_fmt:
+        ``format()`` spec applied to float cells, default three decimals.
+
+    Returns
+    -------
+    str
+        The rendered multi-line table (no trailing newline).
+    """
+    str_rows = [[_render_cell(c, float_fmt) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def format_distribution(
+    dist: Mapping[object, float],
+    *,
+    title: str | None = None,
+    as_percent: bool = True,
+) -> str:
+    """Render a discrete distribution as a two-row table (paper Table IV style).
+
+    Parameters
+    ----------
+    dist:
+        Mapping from category (e.g. number of dislikes) to probability mass.
+    title:
+        Optional caption.
+    as_percent:
+        When true (default), masses are shown as integer percentages, like
+        the paper's "54% 31% 10% 3% 2%" row.
+    """
+    keys = list(dist.keys())
+    if as_percent:
+        values = [f"{100.0 * float(dist[k]):.0f}%" for k in keys]
+    else:
+        values = [f"{float(dist[k]):.3f}" for k in keys]
+    return format_table(
+        [str(k) for k in keys],
+        [values],
+        title=title,
+    )

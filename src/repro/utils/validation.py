@@ -1,0 +1,42 @@
+"""Argument-validation helpers.
+
+Configuration dataclasses across the library validate their fields eagerly so
+that a bad experiment fails at construction time rather than thousands of
+simulated cycles in.  These helpers raise :class:`ConfigurationError` with a
+uniform message format.
+"""
+
+from __future__ import annotations
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_fraction",
+]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Require ``value >= 0``."""
+    if not value >= 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_fraction(name: str, value: float) -> None:
+    """Require ``0 < value <= 1`` (a non-empty fraction of a whole)."""
+    if not 0.0 < value <= 1.0:
+        raise ConfigurationError(f"{name} must be in (0, 1], got {value!r}")

@@ -1,0 +1,53 @@
+"""Shared fixtures for the WHATSUP reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import ItemProfile, UserProfile
+from repro.utils.rng import RngStreams
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def streams() -> RngStreams:
+    """A deterministic stream registry, fresh per test."""
+    return RngStreams(seed=777)
+
+
+def make_user_profile(
+    likes: list[int], dislikes: list[int] = (), timestamp: int = 0
+) -> UserProfile:
+    """Build a binary user profile from explicit like/dislike id lists."""
+    profile = UserProfile()
+    for iid in likes:
+        profile.record_opinion(iid, timestamp, True)
+    for iid in dislikes:
+        profile.record_opinion(iid, timestamp, False)
+    return profile
+
+
+def make_item_profile(scores: dict[int, float], timestamp: int = 0) -> ItemProfile:
+    """Build an item profile with explicit real-valued scores."""
+    profile = ItemProfile()
+    for iid, score in scores.items():
+        profile.set(iid, timestamp, score)
+    return profile
+
+
+@pytest.fixture
+def user_profile_factory():
+    """Factory fixture for binary user profiles."""
+    return make_user_profile
+
+
+@pytest.fixture
+def item_profile_factory():
+    """Factory fixture for real-valued item profiles."""
+    return make_item_profile

@@ -1,0 +1,222 @@
+"""Unit and behavioural tests for the competitor systems (paper §IV-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CascadeSystem,
+    CfSystem,
+    CPubSubSystem,
+    CWhatsUpSystem,
+    GossipSystem,
+)
+from repro.core import WhatsUpConfig
+from repro.datasets import digg_dataset, survey_dataset, synthetic_dataset
+from repro.utils.exceptions import ConfigurationError, DatasetError
+
+
+def prf(reached, likes):
+    tp = (reached & likes).sum()
+    p = tp / max(reached.sum(), 1)
+    r = tp / max(likes.sum(), 1)
+    return p, r
+
+
+@pytest.fixture(scope="module")
+def survey():
+    return survey_dataset(n_base_users=60, n_base_items=80, seed=3, publish_cycles=25)
+
+
+@pytest.fixture(scope="module")
+def digg():
+    return digg_dataset(n_users=60, n_items=80, seed=3, publish_cycles=25)
+
+
+class TestGossipSystem:
+    def test_runs_and_reaches_almost_everyone(self, survey):
+        s = GossipSystem(survey, fanout=5, seed=1)
+        s.run()
+        reached = s.reached_matrix()
+        # homogeneous gossip at f=5 floods: recall near 1
+        _, recall = prf(reached, survey.likes)
+        assert recall > 0.9
+
+    def test_precision_tracks_like_rate(self, survey):
+        s = GossipSystem(survey, fanout=5, seed=1)
+        s.run()
+        p, _ = prf(s.reached_matrix(), survey.likes)
+        assert p == pytest.approx(survey.like_rate(), abs=0.05)
+
+    def test_forwarding_is_opinion_blind(self, survey):
+        s = GossipSystem(survey, fanout=4, seed=1)
+        s.run()
+        arr = s.log.arrays()
+        # both likers and dislikers forwarded: forwards ≈ deliveries
+        assert s.log.n_forwards >= 0.9 * s.log.n_deliveries
+
+    def test_invalid_fanout(self, survey):
+        with pytest.raises(ConfigurationError):
+            GossipSystem(survey, fanout=0)
+
+    def test_system_name(self, survey):
+        assert GossipSystem(survey, fanout=3).system_name == "gossip"
+
+
+class TestCfSystem:
+    def test_no_action_on_dislike(self, survey):
+        s = CfSystem(survey, k=8, metric="wup", seed=1)
+        s.run()
+        arr = s.log.arrays()
+        assert bool(arr["f_liked"].all())  # every forward is a like-forward
+
+    def test_metric_names_system(self, survey):
+        assert CfSystem(survey, k=5, metric="wup").system_name == "cf-wup"
+        assert CfSystem(survey, k=5, metric="cosine").system_name == "cf-cos"
+
+    def test_wup_metric_beats_cosine_recall(self, survey):
+        # §V-A: the WUP metric improves recall over cosine for CF
+        rec = {}
+        for metric in ("wup", "cosine"):
+            s = CfSystem(survey, k=8, metric=metric, seed=1)
+            s.run()
+            _, rec[metric] = prf(s.reached_matrix(), survey.likes)
+        assert rec["wup"] > rec["cosine"]
+
+    def test_beats_random_gossip_precision(self, survey):
+        cf = CfSystem(survey, k=8, metric="wup", seed=1)
+        cf.run()
+        p_cf, _ = prf(cf.reached_matrix(), survey.likes)
+        assert p_cf > survey.like_rate() + 0.05
+
+    def test_invalid_k(self, survey):
+        with pytest.raises(ConfigurationError):
+            CfSystem(survey, k=0)
+
+
+class TestCascadeSystem:
+    def test_requires_social_graph(self, survey):
+        with pytest.raises(DatasetError, match="social graph"):
+            CascadeSystem(survey)
+
+    def test_runs_on_digg(self, digg):
+        s = CascadeSystem(digg, seed=1)
+        s.run()
+        assert s.log.n_deliveries > 0
+
+    def test_low_recall_signature(self, digg):
+        # Table V: cascade recall is dramatically lower than gossip-based
+        # dissemination because the explicit graph is interest-misaligned
+        cas = CascadeSystem(digg, seed=1)
+        cas.run()
+        _, r_cas = prf(cas.reached_matrix(), digg.likes)
+        gos = GossipSystem(digg, fanout=5, seed=1)
+        gos.run()
+        _, r_gos = prf(gos.reached_matrix(), digg.likes)
+        assert r_cas < 0.5 * r_gos
+
+    def test_only_likes_cascade(self, digg):
+        s = CascadeSystem(digg, seed=1)
+        s.run()
+        assert bool(s.log.arrays()["f_liked"].all())
+
+    def test_static_topology_no_gossip_traffic(self, digg):
+        from repro.network.message import MessageKind
+
+        s = CascadeSystem(digg, seed=1)
+        s.run()
+        assert s.stats.sent[MessageKind.RPS] == 0
+        assert s.stats.sent[MessageKind.WUP] == 0
+
+
+class TestCPubSub:
+    def test_recall_is_one_on_subscribed_topics(self, survey):
+        ps = CPubSubSystem(survey)
+        ps.run()
+        reached = ps.reached_matrix()
+        likes = survey.likes
+        # complete dissemination: every liked item reached its liker,
+        # except likes that are forced-fan noise outside any subscription
+        subs = survey.topic_subscriptions()
+        for u in range(survey.n_users):
+            for i in np.flatnonzero(likes[u]):
+                if survey.item_topics[i] in subs[u]:
+                    assert reached[u, i]
+
+    def test_full_recall(self, survey):
+        ps = CPubSubSystem(survey)
+        ps.run()
+        _, recall = prf(ps.reached_matrix(), survey.likes)
+        assert recall == pytest.approx(1.0, abs=0.01)
+
+    def test_message_cost_is_spanning_tree(self, survey):
+        ps = CPubSubSystem(survey)
+        ps.run()
+        reached = ps.reached_matrix()
+        expected = int(sum(max(reached[:, i].sum() - 1, 0) for i in range(survey.n_items)))
+        assert ps.total_messages == expected
+
+    def test_requires_run_before_reached(self, survey):
+        with pytest.raises(RuntimeError):
+            CPubSubSystem(survey).reached_matrix()
+
+    def test_requires_topics(self):
+        from repro.datasets import dataset_from_likes
+
+        ds = dataset_from_likes(np.ones((3, 3), dtype=bool), seed=0)
+        with pytest.raises(DatasetError):
+            CPubSubSystem(ds)
+
+
+class TestCWhatsUp:
+    def test_runs_and_beats_like_rate_precision(self, survey):
+        s = CWhatsUpSystem(survey, WhatsUpConfig(f_like=6), seed=1)
+        s.run()
+        p, r = prf(s.reached_matrix(), survey.likes)
+        assert p > survey.like_rate() + 0.05
+        assert r > 0.1
+
+    def test_precision_exceeds_decentralized(self, survey):
+        # Figure 9 / §V-G: global knowledge yields better precision
+        from repro.core import WhatsUpSystem
+
+        cfg = WhatsUpConfig(f_like=8)
+        c = CWhatsUpSystem(survey, cfg, seed=1)
+        c.run()
+        w = WhatsUpSystem(survey, cfg, seed=1)
+        w.run()
+        p_c, _ = prf(c.reached_matrix(), survey.likes)
+        p_w, _ = prf(w.reached_matrix(), survey.likes)
+        assert p_c > p_w
+
+    def test_no_duplicate_deliveries_scheduled(self, survey):
+        # the server's informed-set bookkeeping means receivers see very few
+        # duplicates (only races within a cycle window)
+        s = CWhatsUpSystem(survey, WhatsUpConfig(f_like=6), seed=1)
+        s.run()
+        assert s.log.duplicates == 0
+
+    def test_dislike_ttl_respected(self, survey):
+        s = CWhatsUpSystem(survey, WhatsUpConfig(f_like=6, beep_ttl=2), seed=1)
+        s.run()
+        assert int(s.log.arrays()["d_dislikes"].max(initial=0)) <= 2
+
+
+class TestSeedDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda ds, seed: GossipSystem(ds, fanout=4, seed=seed),
+            lambda ds, seed: CfSystem(ds, k=6, seed=seed),
+            lambda ds, seed: CWhatsUpSystem(ds, WhatsUpConfig(f_like=4), seed=seed),
+        ],
+        ids=["gossip", "cf", "c-whatsup"],
+    )
+    def test_deterministic(self, survey, factory):
+        def run(seed):
+            s = factory(survey, seed)
+            s.run()
+            return (s.log.n_deliveries, s.log.duplicates, s.stats.item_messages())
+
+        assert run(7) == run(7)

@@ -1,0 +1,204 @@
+"""Unit tests for the BEEP forwarder (paper Algorithm 2, Section III)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.beep import BeepForwarder
+from repro.core.config import WhatsUpConfig
+from repro.core.news import ItemCopy, NewsItem
+from repro.core.profiles import FrozenProfile
+from repro.core.similarity import wup_similarity
+from repro.gossip.views import View, ViewEntry
+from tests.conftest import make_item_profile
+
+
+class FakeEngine:
+    """Captures sends and forward logs."""
+
+    def __init__(self):
+        self.sent = []  # (sender, target, copy, via_like)
+        self.forwards = []  # (node, copy, liked, n_targets)
+
+    def send_item(self, sender, target, copy, via_like):
+        self.sent.append((sender, target, copy, via_like))
+
+    def log_forward(self, node, copy, liked, n_targets):
+        self.forwards.append((node, copy, liked, n_targets))
+
+
+def view_of(owner: int, specs: dict[int, tuple[int, ...]], capacity: int = 30) -> View:
+    """Build a view from {node_id: liked item ids}."""
+    v = View(capacity, owner_id=owner)
+    for nid, likes in specs.items():
+        v.upsert(
+            ViewEntry(
+                node_id=nid,
+                address=f"10.0.0.{nid}",
+                profile=FrozenProfile({i: 1.0 for i in likes}, is_binary=True),
+                timestamp=0,
+            )
+        )
+    return v
+
+
+def fresh_copy(dislikes: int = 0, scores: dict[int, float] | None = None) -> ItemCopy:
+    item = NewsItem.publish(source=0, created_at=0, title="t")
+    profile = make_item_profile(scores or {})
+    return ItemCopy(item=item, profile=profile, dislikes=dislikes, hops=2)
+
+
+def forwarder(**cfg_kwargs) -> BeepForwarder:
+    cfg = WhatsUpConfig(**({"f_like": 3} | cfg_kwargs))
+    return BeepForwarder(cfg, wup_similarity, np.random.default_rng(0))
+
+
+class TestLikePath:
+    def test_forwards_flike_targets_from_wup_view(self):
+        fw = forwarder(f_like=3)
+        wup = view_of(0, {i: (1,) for i in range(1, 10)})
+        rps = view_of(0, {})
+        eng = FakeEngine()
+        n = fw.forward(0, fresh_copy(), True, wup, rps, eng)
+        assert n == 3
+        assert len(eng.sent) == 3
+        assert all(via for *_, via in eng.sent)
+        targets = {t for _, t, _, _ in eng.sent}
+        assert len(targets) == 3 and targets <= set(range(1, 10))
+
+    def test_small_view_caps_targets(self):
+        fw = forwarder(f_like=5)
+        wup = view_of(0, {1: (1,), 2: (1,)})
+        eng = FakeEngine()
+        n = fw.forward(0, fresh_copy(), True, wup, view_of(0, {}), eng)
+        assert n == 2
+
+    def test_empty_view_sends_nothing(self):
+        fw = forwarder()
+        eng = FakeEngine()
+        n = fw.forward(0, fresh_copy(), True, view_of(0, {}), view_of(0, {}), eng)
+        assert n == 0
+        assert not eng.sent and not eng.forwards
+
+    def test_clones_are_independent_and_hop_incremented(self):
+        fw = forwarder(f_like=2)
+        wup = view_of(0, {1: (1,), 2: (1,)})
+        eng = FakeEngine()
+        copy = fresh_copy(scores={9: 1.0})
+        fw.forward(0, copy, True, wup, view_of(0, {}), eng)
+        clones = [c for _, _, c, _ in eng.sent]
+        assert all(c.hops == copy.hops + 1 for c in clones)
+        clones[0].profile.set(5, 0, 1.0)
+        assert 5 not in clones[1].profile
+        assert 5 not in copy.profile
+
+    def test_like_does_not_touch_dislike_counter(self):
+        fw = forwarder(f_like=2)
+        wup = view_of(0, {1: (1,), 2: (1,)})
+        eng = FakeEngine()
+        fw.forward(0, fresh_copy(dislikes=2), True, wup, view_of(0, {}), eng)
+        assert all(c.dislikes == 2 for _, _, c, _ in eng.sent)
+
+    def test_forward_logged_with_realised_fanout(self):
+        fw = forwarder(f_like=4)
+        wup = view_of(0, {1: (1,), 2: (1,)})
+        eng = FakeEngine()
+        fw.forward(0, fresh_copy(), True, wup, view_of(0, {}), eng)
+        assert eng.forwards == [(0, eng.forwards[0][1], True, 2)]
+
+
+class TestDislikePath:
+    def test_selects_most_similar_rps_node(self):
+        fw = forwarder()
+        # item profile likes items {1, 2}; candidate 7 matches best
+        copy = fresh_copy(scores={1: 1.0, 2: 1.0})
+        rps = view_of(0, {5: (9,), 6: (1, 50, 51), 7: (1, 2)})
+        eng = FakeEngine()
+        n = fw.forward(0, copy, False, view_of(0, {}), rps, eng)
+        assert n == 1
+        assert eng.sent[0][1] == 7
+        assert eng.sent[0][3] is False  # via_like
+
+    def test_dislike_counter_incremented_on_clone_only(self):
+        fw = forwarder()
+        copy = fresh_copy(dislikes=1, scores={1: 1.0})
+        rps = view_of(0, {5: (1,)})
+        eng = FakeEngine()
+        fw.forward(0, copy, False, view_of(0, {}), rps, eng)
+        assert eng.sent[0][2].dislikes == 2
+        assert copy.dislikes == 1  # local copy untouched
+
+    def test_ttl_reached_drops(self):
+        fw = forwarder(beep_ttl=4)
+        copy = fresh_copy(dislikes=4, scores={1: 1.0})
+        rps = view_of(0, {5: (1,)})
+        eng = FakeEngine()
+        n = fw.forward(0, copy, False, view_of(0, {}), rps, eng)
+        assert n == 0 and not eng.sent
+
+    def test_ttl_zero_disables_dislike_path(self):
+        fw = forwarder(beep_ttl=0)
+        rps = view_of(0, {5: (1,)})
+        eng = FakeEngine()
+        n = fw.forward(0, fresh_copy(scores={1: 1.0}), False, view_of(0, {}), rps, eng)
+        assert n == 0
+
+    def test_empty_rps_view_sends_nothing(self):
+        fw = forwarder()
+        eng = FakeEngine()
+        n = fw.forward(0, fresh_copy(scores={1: 1.0}), False, view_of(0, {}), view_of(0, {}), eng)
+        assert n == 0
+
+    def test_no_similarity_still_forwards_somewhere(self):
+        # serendipity: even with zero-similarity candidates the item moves on
+        fw = forwarder()
+        copy = fresh_copy(scores={1: 1.0})
+        rps = view_of(0, {5: (99,), 6: (98,)})
+        eng = FakeEngine()
+        n = fw.forward(0, copy, False, view_of(0, {}), rps, eng)
+        assert n == 1
+        assert eng.sent[0][1] in (5, 6)
+
+    def test_f_dislike_ablation_multiple_targets(self):
+        fw = forwarder(f_dislike=2)
+        copy = fresh_copy(scores={1: 1.0})
+        rps = view_of(0, {5: (1,), 6: (1, 2), 7: (50,)})
+        eng = FakeEngine()
+        n = fw.forward(0, copy, False, view_of(0, {}), rps, eng)
+        assert n == 2
+        assert {t for _, t, _, _ in eng.sent} == {5, 6}
+
+    def test_random_tiebreak_covers_all_tied_candidates(self):
+        # equal-similarity candidates must all get a chance (a fixed
+        # tie-break would permanently starve fresh nodes)
+        winners = set()
+        for seed in range(30):
+            fw = BeepForwarder(
+                WhatsUpConfig(f_like=3), wup_similarity, np.random.default_rng(seed)
+            )
+            copy = fresh_copy(scores={1: 1.0})
+            rps = view_of(0, {8: (1,), 3: (1,)})
+            eng = FakeEngine()
+            fw.forward(0, copy, False, view_of(0, {}), rps, eng)
+            winners.add(eng.sent[0][1])
+        assert winners == {3, 8}
+
+    def test_higher_similarity_still_wins_over_random_ties(self):
+        fw = forwarder()
+        copy = fresh_copy(scores={1: 1.0, 2: 1.0})
+        rps = view_of(0, {5: (1,), 6: (1, 2), 7: (9,)})
+        eng = FakeEngine()
+        fw.forward(0, copy, False, view_of(0, {}), rps, eng)
+        assert eng.sent[0][1] == 6
+
+
+class TestAmplificationContrast:
+    def test_liked_items_fan_out_wider_than_disliked(self):
+        fw = forwarder(f_like=6)
+        wup = view_of(0, {i: (1,) for i in range(1, 20)})
+        rps = view_of(0, {i: (1,) for i in range(20, 40)})
+        eng = FakeEngine()
+        n_like = fw.forward(0, fresh_copy(scores={1: 1.0}), True, wup, rps, eng)
+        n_dislike = fw.forward(0, fresh_copy(scores={1: 1.0}), False, wup, rps, eng)
+        assert n_like == 6 and n_dislike == 1

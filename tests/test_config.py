@@ -1,0 +1,87 @@
+"""Unit tests for WhatsUpConfig (paper Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import WhatsUpConfig
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_table2_defaults(self):
+        cfg = WhatsUpConfig()
+        assert cfg.rps_view_size == 30
+        assert cfg.beep_ttl == 4
+        assert cfg.profile_window == 13
+        assert cfg.f_dislike == 1
+        assert cfg.similarity == "wup"
+
+    def test_wup_view_defaults_to_twice_fanout(self):
+        assert WhatsUpConfig(f_like=7).effective_wup_view_size == 14
+        assert WhatsUpConfig(f_like=7, wup_view_size=9).effective_wup_view_size == 9
+
+    def test_table2_rows_cover_all_parameters(self):
+        rows = WhatsUpConfig().table2_rows()
+        names = [r[0] for r in rows]
+        assert names == ["RPSvs", "RPSf", "WUPvs", "Profile window", "BEEP TTL"]
+
+
+class TestValidation:
+    def test_bad_fanout(self):
+        with pytest.raises(ConfigurationError):
+            WhatsUpConfig(f_like=0)
+
+    def test_bad_rps_view(self):
+        with pytest.raises(ConfigurationError):
+            WhatsUpConfig(rps_view_size=-1)
+
+    def test_negative_ttl(self):
+        with pytest.raises(ConfigurationError):
+            WhatsUpConfig(beep_ttl=-1)
+
+    def test_zero_ttl_allowed(self):
+        # TTL 0 disables the dislike path entirely (Figure 5's x=0 point)
+        assert WhatsUpConfig(beep_ttl=0).beep_ttl == 0
+
+    def test_wup_view_smaller_than_fanout_rejected(self):
+        # the paper: WUPvs "must be at least as large as" fLIKE
+        with pytest.raises(ConfigurationError, match="wup_view_size"):
+            WhatsUpConfig(f_like=10, wup_view_size=5)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ConfigurationError, match="unknown similarity"):
+            WhatsUpConfig(similarity="euclid")
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            WhatsUpConfig(profile_window=0)
+
+    def test_bad_periods(self):
+        with pytest.raises(ConfigurationError):
+            WhatsUpConfig(rps_every=0)
+        with pytest.raises(ConfigurationError):
+            WhatsUpConfig(wup_every=0)
+
+    def test_bad_cycle_seconds(self):
+        with pytest.raises(ConfigurationError):
+            WhatsUpConfig(cycle_seconds=0)
+
+
+class TestDerivedCopies:
+    def test_with_fanout_keeps_defaulted_view_tied(self):
+        cfg = WhatsUpConfig(f_like=5).with_fanout(12)
+        assert cfg.f_like == 12
+        assert cfg.effective_wup_view_size == 24
+
+    def test_with_fanout_preserves_explicit_view(self):
+        cfg = WhatsUpConfig(f_like=5, wup_view_size=20).with_fanout(12)
+        assert cfg.effective_wup_view_size == 20
+
+    def test_with_metric(self):
+        cfg = WhatsUpConfig().with_metric("cosine")
+        assert cfg.similarity == "cosine"
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            WhatsUpConfig().f_like = 3

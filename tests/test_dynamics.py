@@ -1,0 +1,156 @@
+"""Tests for the Figure 7 dynamics machinery (joining / changing nodes)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import WhatsUpConfig, WhatsUpNode
+from repro.core.similarity import get_metric
+from repro.datasets import survey_dataset
+from repro.experiments.dynamics import (
+    DynamicsTrace,
+    _representative_users,
+    _SwappableOracle,
+    run_dynamics_experiment,
+    view_similarity_to,
+)
+from repro.utils.rng import RngStreams
+
+
+class TestSwappableOracle:
+    @pytest.fixture
+    def oracle_and_ds(self):
+        ds = survey_dataset(n_base_users=20, n_base_items=25, seed=3)
+        return _SwappableOracle(ds), ds
+
+    def test_passthrough_by_default(self, oracle_and_ds):
+        oracle, ds = oracle_and_ds
+        for idx in (0, 5, 10):
+            item = ds.items[idx]
+            assert oracle(3, item) == bool(ds.likes[3, idx])
+
+    def test_swap_exchanges_interests(self, oracle_and_ds):
+        oracle, ds = oracle_and_ds
+        oracle.swap(1, 2)
+        for idx in (0, 7):
+            item = ds.items[idx]
+            assert oracle(1, item) == bool(ds.likes[2, idx])
+            assert oracle(2, item) == bool(ds.likes[1, idx])
+
+    def test_double_swap_restores(self, oracle_and_ds):
+        oracle, ds = oracle_and_ds
+        oracle.swap(1, 2)
+        oracle.swap(1, 2)
+        item = ds.items[0]
+        assert oracle(1, item) == bool(ds.likes[1, 0])
+
+    def test_alias_for_joiner(self, oracle_and_ds):
+        oracle, ds = oracle_and_ds
+        oracle.alias(999, 4)
+        item = ds.items[3]
+        assert oracle(999, item) == bool(ds.likes[4, 3])
+
+
+class TestViewSimilarity:
+    def test_empty_view_is_zero(self):
+        node = WhatsUpNode(0, WhatsUpConfig(f_like=3), lambda n, i: True, RngStreams(0))
+        metric = get_metric("wup")
+        assert view_similarity_to(node, node, metric) == 0.0
+
+    def test_matching_view_scores_high(self):
+        from repro.core.profiles import FrozenProfile
+        from repro.gossip.views import ViewEntry
+
+        node = WhatsUpNode(0, WhatsUpConfig(f_like=3), lambda n, i: True, RngStreams(0))
+        for iid in (1, 2, 3):
+            node.profile.record_opinion(iid, 0, True)
+        node.wup.view.upsert(
+            ViewEntry(5, "a", FrozenProfile({1: 1.0, 2: 1.0, 3: 1.0}, is_binary=True), 0)
+        )
+        metric = get_metric("wup")
+        assert view_similarity_to(node, node, metric) == pytest.approx(1.0)
+
+
+class TestRepresentativeUsers:
+    def test_excludes_bottom_quartile(self):
+        ds = survey_dataset(n_base_users=40, n_base_items=60, seed=3)
+        rng = np.random.default_rng(0)
+        eligible = _representative_users(ds, rng)
+        rates = ds.likes.mean(axis=1)
+        cutoff = np.percentile(rates, 25)
+        assert all(rates[u] > cutoff for u in eligible)
+        assert len(eligible) >= ds.n_users // 2
+
+
+class TestConvergenceCriteria:
+    def _trace(self):
+        tr = DynamicsTrace(intervention_cycle=10)
+        tr.cycles = list(range(20))
+        tr.reference_similarity = [0.0] * 5 + [0.5] * 15
+        tr.joining_similarity = [0.0] * 12 + [0.45] * 8
+        # changing node: high, dips, recovers
+        tr.changing_similarity = (
+            [0.5] * 10 + [0.4, 0.2, 0.1, 0.1, 0.2, 0.3, 0.41, 0.45, 0.45, 0.45]
+        )
+        return tr
+
+    def test_join_convergence_waits_for_reference_floor(self):
+        tr = self._trace()
+        # joiner reaches 0.45 >= 0.8*0.5 at cycle 12 -> 2 after intervention
+        assert tr.convergence_cycle() == 2
+
+    def test_join_convergence_none_when_never_reached(self):
+        tr = self._trace()
+        tr.joining_similarity = [0.1] * 20
+        assert tr.convergence_cycle() is None
+
+    def test_change_convergence_measured_after_dip(self):
+        tr = self._trace()
+        # dip bottoms at cycle 12-13; recovery to >= 0.4 at cycle 16 -> 6
+        assert tr.change_convergence_cycle() == 6
+
+    def test_change_convergence_ignores_pre_dip_level(self):
+        tr = self._trace()
+        # the pre-dip 0.5 values must NOT count as convergence
+        assert tr.change_convergence_cycle() != 0
+
+
+class TestEndToEndDynamics:
+    def test_small_dynamics_run(self):
+        trace = run_dynamics_experiment(
+            metric_name="wup",
+            n_base_users=40,
+            n_base_items=80,
+            publish_cycles=60,
+            total_cycles=60,
+            intervention_cycle=25,
+            profile_window=15,
+            f_like=4,
+            seed=5,
+            repeats=1,
+        )
+        assert len(trace.cycles) >= 60
+        assert trace.intervention_cycle == 25
+        # the joiner's view similarity becomes positive after joining
+        post = [
+            s
+            for c, s in zip(trace.cycles, trace.joining_similarity)
+            if c > 35
+        ]
+        assert max(post) > 0.0
+
+    def test_repeats_average_traces(self):
+        trace = run_dynamics_experiment(
+            metric_name="wup",
+            n_base_users=30,
+            n_base_items=50,
+            publish_cycles=40,
+            total_cycles=40,
+            intervention_cycle=15,
+            profile_window=10,
+            f_like=3,
+            seed=5,
+            repeats=2,
+        )
+        assert len(trace.cycles) >= 40

@@ -1,0 +1,286 @@
+"""Unit tests for the cycle engine and churn model.
+
+Uses a minimal flooding node so engine semantics (hop-per-cycle delivery,
+loss accounting, duplicate suppression, churn) are tested in isolation from
+the WHATSUP protocol stack.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.news import ItemCopy, NewsItem
+from repro.network.message import MessageKind
+from repro.network.transport import UniformLossTransport
+from repro.simulation.churn import ChurnModel
+from repro.simulation.engine import CycleEngine
+from repro.simulation.node import BaseNode
+from repro.simulation.schedule import PublicationSchedule
+from repro.utils.exceptions import SimulationError
+from repro.utils.rng import RngStreams
+
+
+class FloodNode(BaseNode):
+    """Forwards every first receipt to a static neighbour list."""
+
+    def __init__(self, node_id, neighbours):
+        super().__init__(node_id)
+        self.neighbours = list(neighbours)
+        self.seen: set[int] = set()
+        self.gossip_received = 0
+
+    def begin_cycle(self, engine, now):
+        pass
+
+    def on_gossip(self, msg, kind, engine, now):
+        self.gossip_received += 1
+        return None
+
+    def receive_item(self, copy, via_like, engine, now):
+        iid = copy.item.item_id
+        if iid in self.seen:
+            engine.log_duplicate()
+            return
+        self.seen.add(iid)
+        engine.log_delivery(self.node_id, copy, liked=True, via_like=via_like)
+        engine.log_forward(self.node_id, copy, liked=True, n_targets=len(self.neighbours))
+        for nb in self.neighbours:
+            engine.send_item(self.node_id, nb, copy.clone_for_forward(), via_like=True)
+
+    def publish(self, item, engine, now):
+        copy = ItemCopy(item=item)
+        self.seen.add(item.item_id)
+        engine.log_delivery(self.node_id, copy, liked=True, via_like=True)
+        for nb in self.neighbours:
+            engine.send_item(self.node_id, nb, copy.clone_for_forward(), via_like=True)
+
+
+def line_network(n: int) -> list[FloodNode]:
+    """0 -> 1 -> 2 -> ... -> n-1"""
+    return [FloodNode(i, [i + 1] if i + 1 < n else []) for i in range(n)]
+
+
+def one_item_schedule(source=0) -> PublicationSchedule:
+    item = NewsItem.publish(source=source, created_at=0, title="only")
+    return PublicationSchedule([(0, item)])
+
+
+class TestEngineBasics:
+    def test_duplicate_node_rejected(self):
+        nodes = [FloodNode(1, []), FloodNode(1, [])]
+        with pytest.raises(SimulationError):
+            CycleEngine(nodes, one_item_schedule(source=1))
+
+    def test_one_hop_per_cycle(self):
+        nodes = line_network(4)
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        eng.run(1)  # publish at cycle 0; node1 gets it at cycle 1
+        assert 0 in {n.node_id for n in nodes if n.seen}
+        assert not nodes[1].seen
+        eng.run(1)
+        assert nodes[1].seen
+        assert not nodes[2].seen
+        eng.run(2)
+        assert nodes[3].seen
+
+    def test_hop_counts_recorded(self):
+        nodes = line_network(4)
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        eng.run(5)
+        arr = eng.log.arrays()
+        by_node = dict(zip(arr["d_node"].tolist(), arr["d_hops"].tolist()))
+        assert by_node == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_duplicates_suppressed_and_counted(self):
+        # two nodes pointing at the same third node => one duplicate
+        nodes = [FloodNode(0, [2]), FloodNode(1, [2]), FloodNode(2, [])]
+        item0 = NewsItem.publish(source=0, created_at=0, title="a")
+        item1 = NewsItem.publish(source=1, created_at=0, title="a2")
+        # both sources publish the *same* payload? They must be distinct
+        # items; instead wire both nodes to flood one item through two paths.
+        nodes = [FloodNode(0, [1, 2]), FloodNode(1, [3]), FloodNode(2, [3]), FloodNode(3, [])]
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        eng.run(4)
+        assert eng.log.duplicates == 1
+        assert len(nodes[3].seen) == 1
+
+    def test_traffic_stats_counted(self):
+        nodes = line_network(3)
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        eng.run(4)
+        assert eng.stats.sent[MessageKind.ITEM] == 2  # 0->1, 1->2
+
+    def test_run_until_drained(self):
+        nodes = line_network(5)
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        extra = eng.run_until_drained()
+        assert nodes[4].seen
+        assert eng.pending_item_messages() == 0
+        assert extra >= 4
+
+    def test_observers_fire_each_cycle(self):
+        nodes = line_network(2)
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        seen_cycles = []
+        eng.add_observer(lambda e, c: seen_cycles.append(c))
+        eng.run(3)
+        assert seen_cycles == [0, 1, 2]
+
+    def test_add_node_mid_run(self):
+        nodes = line_network(2)
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        eng.run(1)
+        late = FloodNode(99, [])
+        eng.add_node(late)
+        nodes[1].neighbours.append(99)
+        eng.run(3)
+        assert late.seen
+
+    def test_node_lookup(self):
+        nodes = line_network(2)
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        assert eng.node(0) is nodes[0]
+        with pytest.raises(SimulationError):
+            eng.node(42)
+
+    def test_send_to_unknown_node_counts_as_drop(self):
+        nodes = [FloodNode(0, [42])]  # 42 does not exist
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        eng.run(2)
+        assert eng.stats.dropped[MessageKind.ITEM] == 1
+
+
+class TestEngineGossipRouting:
+    class GossipyNode(FloodNode):
+        def __init__(self, node_id, partner):
+            super().__init__(node_id, [])
+            self.partner = partner
+            self.replies_seen = 0
+
+        def begin_cycle(self, engine, now):
+            if self.partner is not None:
+                engine.gossip(self.node_id, self.partner, _Payload(), MessageKind.RPS)
+
+        def on_gossip(self, msg, kind, engine, now):
+            self.gossip_received += 1
+            if getattr(msg, "is_request", True):
+                return _Payload(is_request=False)
+            self.replies_seen += 1
+            return None
+
+    def test_request_reply_within_cycle(self):
+        a = self.GossipyNode(0, partner=1)
+        b = self.GossipyNode(1, partner=None)
+        eng = CycleEngine([a, b], one_item_schedule(), streams=RngStreams(1))
+        eng.run(1)
+        assert b.gossip_received == 1
+        assert a.replies_seen == 1
+        assert eng.stats.sent[MessageKind.RPS] == 2  # request + reply
+
+    def test_gossip_loss_breaks_exchange(self):
+        a = self.GossipyNode(0, partner=1)
+        b = self.GossipyNode(1, partner=None)
+        eng = CycleEngine(
+            [a, b],
+            one_item_schedule(),
+            transport=UniformLossTransport(1.0),
+            streams=RngStreams(1),
+        )
+        eng.run(2)
+        assert b.gossip_received == 0
+        assert a.replies_seen == 0
+        assert eng.stats.dropped[MessageKind.RPS] >= 1
+
+    def test_gossip_to_dead_node_dropped(self):
+        a = self.GossipyNode(0, partner=1)
+        b = self.GossipyNode(1, partner=None)
+        b.alive = False
+        eng = CycleEngine([a, b], one_item_schedule(), streams=RngStreams(1))
+        eng.run(1)
+        assert b.gossip_received == 0
+        assert eng.stats.dropped[MessageKind.RPS] == 1
+
+
+class _Payload:
+    def __init__(self, is_request=True):
+        self.is_request = is_request
+
+    def wire_size(self):
+        return 10
+
+
+class TestLossyDissemination:
+    def test_full_loss_stops_everything(self):
+        nodes = line_network(3)
+        eng = CycleEngine(
+            nodes,
+            one_item_schedule(),
+            transport=UniformLossTransport(1.0),
+            streams=RngStreams(1),
+        )
+        eng.run(5)
+        assert not nodes[1].seen
+        assert eng.stats.loss_rate(MessageKind.ITEM) == 1.0
+
+    def test_stats_loss_rate_tracks_transport(self):
+        # wide fan-out so the empirical rate concentrates
+        hub = FloodNode(0, list(range(1, 200)))
+        leaves = [FloodNode(i, []) for i in range(1, 200)]
+        eng = CycleEngine(
+            [hub, *leaves],
+            one_item_schedule(),
+            transport=UniformLossTransport(0.25),
+            streams=RngStreams(3),
+        )
+        eng.run(3)
+        assert eng.stats.loss_rate(MessageKind.ITEM) == pytest.approx(0.25, abs=0.08)
+
+
+class TestChurn:
+    def test_kill_and_rejoin(self):
+        nodes = line_network(3)
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        churn = ChurnModel(kill_rate=1.0, rejoin_after=2, start_cycle=0)
+        eng.churn = churn
+        eng.run(1)
+        assert all(not n.alive for n in nodes)
+        churn.kill_rate = 0.0  # stop further kills so revival is observable
+        eng.run(2)  # revive due at cycle 2 -> applied cycle 2
+        assert all(n.alive for n in nodes)
+        assert churn.total_kills >= 3
+        assert churn.total_rejoins >= 3
+
+    def test_protected_nodes_survive(self):
+        nodes = line_network(3)
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        eng.churn = ChurnModel(kill_rate=1.0, protected={0})
+        eng.run(1)
+        assert nodes[0].alive
+        assert not nodes[1].alive
+
+    def test_dead_node_receives_nothing(self):
+        nodes = line_network(2)
+        nodes[1].alive = False
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        eng.run(3)
+        assert not nodes[1].seen
+
+    def test_permanent_kill(self):
+        nodes = line_network(2)
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        eng.churn = ChurnModel(kill_rate=1.0, rejoin_after=None)
+        eng.run(4)
+        assert not any(n.alive for n in nodes)
+
+    def test_churn_validation(self):
+        with pytest.raises(Exception):
+            ChurnModel(kill_rate=1.5)
+
+    def test_start_cycle_delays_churn(self):
+        nodes = line_network(2)
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        eng.churn = ChurnModel(kill_rate=1.0, start_cycle=3)
+        eng.run(3)
+        assert all(n.alive for n in nodes)
+        eng.run(1)
+        assert not any(n.alive for n in nodes)

@@ -1,0 +1,192 @@
+"""Unit tests for the RPS and clustering (Vicinity) gossip protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import FrozenProfile, UserProfile
+from repro.core.similarity import wup_similarity
+from repro.gossip.rps import RpsMessage, RpsProtocol
+from repro.gossip.vicinity import ClusteringMessage, ClusteringProtocol
+from repro.gossip.views import ViewEntry
+from tests.conftest import make_user_profile
+
+
+def snapshot(likes: tuple[int, ...] = ()) -> FrozenProfile:
+    return FrozenProfile({i: 1.0 for i in likes}, is_binary=True)
+
+
+def entry(node_id: int, ts: int = 0, likes: tuple[int, ...] = ()) -> ViewEntry:
+    return ViewEntry(node_id, f"10.0.0.{node_id}", snapshot(likes), ts)
+
+
+@pytest.fixture
+def rps_pair(rng):
+    a = RpsProtocol(1, view_size=4, rng=np.random.default_rng(1))
+    b = RpsProtocol(2, view_size=4, rng=np.random.default_rng(2))
+    return a, b
+
+
+class TestRpsProtocol:
+    def test_initiate_empty_view_returns_none(self, rps_pair):
+        a, _ = rps_pair
+        assert a.initiate(snapshot(), now=0) is None
+
+    def test_partner_is_oldest(self, rps_pair):
+        a, _ = rps_pair
+        a.view.upsert(entry(5, ts=3))
+        a.view.upsert(entry(7, ts=1))
+        assert a.select_partner() == 7
+
+    def test_request_carries_own_descriptor_first(self, rps_pair):
+        a, _ = rps_pair
+        a.view.upsert(entry(9, ts=0))
+        partner, msg = a.initiate(snapshot((1,)), now=4)
+        assert partner == 9
+        assert msg.is_request
+        assert msg.entries[0].node_id == 1
+        assert msg.entries[0].timestamp == 4
+
+    def test_request_ships_half_view(self):
+        a = RpsProtocol(1, view_size=8, rng=np.random.default_rng(0))
+        for i in range(2, 10):
+            a.view.upsert(entry(i))
+        _, msg = a.initiate(snapshot(), now=0)
+        # own descriptor + half of 8 = 4
+        assert len(msg.entries) == 1 + 4
+
+    def test_shipment_excludes_partner_descriptor(self):
+        a = RpsProtocol(1, view_size=2, rng=np.random.default_rng(0))
+        a.view.upsert(entry(2, ts=0))
+        a.view.upsert(entry(3, ts=5))
+        partner, msg = a.initiate(snapshot(), now=6)
+        assert partner == 2
+        shipped_ids = {e.node_id for e in msg.entries}
+        assert 2 not in shipped_ids
+
+    def test_handle_request_returns_reply_and_merges(self, rps_pair):
+        a, b = rps_pair
+        a.view.upsert(entry(2, ts=0))
+        _, req = a.initiate(snapshot((1,)), now=1)
+        reply = b.handle(req, snapshot((2,)), now=1)
+        assert isinstance(reply, RpsMessage)
+        assert not reply.is_request
+        assert 1 in b.view  # learned about a
+
+    def test_handle_reply_returns_none(self, rps_pair):
+        a, b = rps_pair
+        reply = RpsMessage(2, (entry(2, ts=1),), is_request=False)
+        assert a.handle(reply, snapshot(), now=1) is None
+        assert 2 in a.view
+
+    def test_view_never_exceeds_capacity(self, rps_pair):
+        a, _ = rps_pair
+        big = RpsMessage(9, tuple(entry(i, ts=1) for i in range(10, 30)), is_request=False)
+        a.handle(big, snapshot(), now=1)
+        assert len(a.view) <= a.view.capacity
+
+    def test_own_descriptor_never_kept(self, rps_pair):
+        a, _ = rps_pair
+        msg = RpsMessage(2, (entry(1, ts=9), entry(2, ts=9)), is_request=False)
+        a.handle(msg, snapshot(), now=9)
+        assert 1 not in a.view
+
+    def test_wire_size(self):
+        msg = RpsMessage(1, (entry(2, likes=(1, 2)),), is_request=True)
+        assert msg.wire_size() == 1 + (4 + 8 + 8) + 16 + 3
+
+    def test_push_pull_converges_views(self):
+        # after one full exchange both nodes know each other
+        a = RpsProtocol(1, view_size=4, rng=np.random.default_rng(1))
+        b = RpsProtocol(2, view_size=4, rng=np.random.default_rng(2))
+        a.view.upsert(entry(2, ts=0))
+        _, req = a.initiate(snapshot((1,)), now=1)
+        reply = b.handle(req, snapshot((2,)), now=1)
+        a.handle(reply, snapshot((1,)), now=1)
+        assert 2 in a.view and 1 in b.view
+        assert a.view.get(2).timestamp == 1  # refreshed descriptor
+
+
+class TestClusteringProtocol:
+    def _proto(self, node_id: int, view_size: int = 3) -> ClusteringProtocol:
+        return ClusteringProtocol(
+            node_id,
+            view_size=view_size,
+            metric=wup_similarity,
+            rng=np.random.default_rng(node_id),
+        )
+
+    def test_initiate_ships_entire_view(self):
+        p = self._proto(1, view_size=5)
+        for i in range(2, 6):
+            p.view.upsert(entry(i, ts=i))
+        partner, msg = p.initiate(snapshot((1,)), now=9)
+        assert partner == 2  # oldest
+        # own descriptor + all entries except the partner's
+        assert len(msg.entries) == 1 + 3
+        assert isinstance(msg, ClusteringMessage)
+
+    def test_merge_keeps_most_similar(self):
+        own = make_user_profile([1, 2, 3]).snapshot()
+        p = self._proto(1, view_size=2)
+        p.merge(
+            own,
+            [
+                entry(10, likes=(1, 2, 3)),   # sim 1.0
+                entry(11, likes=(1,)),        # high (selective)
+                entry(12, likes=(50,)),       # sim 0
+                entry(13, likes=(60,)),       # sim 0
+            ],
+        )
+        kept = set(p.view.node_ids())
+        assert kept == {10, 11}
+
+    def test_merge_includes_rps_candidates(self):
+        own = make_user_profile([1, 2]).snapshot()
+        p = self._proto(1, view_size=1)
+        p.merge(own, [], rps_entries=[entry(42, likes=(1, 2))])
+        assert p.view.node_ids() == [42]
+
+    def test_handle_request_replies_and_merges(self):
+        own_a = make_user_profile([1]).snapshot()
+        own_b = make_user_profile([1]).snapshot()
+        a, b = self._proto(1), self._proto(2)
+        a.view.upsert(entry(2, ts=0))
+        _, req = a.initiate(own_a, now=1)
+        reply = b.handle(req, own_b, now=1)
+        assert reply is not None and not reply.is_request
+        assert 1 in b.view
+        a.handle(reply, own_a, now=1)
+        assert 2 in a.view
+
+    def test_refresh_reranks_with_new_profile(self):
+        p = self._proto(1, view_size=1)
+        old_profile = make_user_profile([50]).snapshot()
+        p.merge(old_profile, [entry(10, likes=(50,)), entry(11, likes=(1, 2))])
+        assert p.view.node_ids() == [10]
+        new_profile = make_user_profile([1, 2]).snapshot()
+        p.refresh(new_profile, [entry(10, likes=(50,)), entry(11, likes=(1, 2))])
+        assert p.view.node_ids() == [11]
+
+    def test_view_capacity_respected(self):
+        own = make_user_profile([1]).snapshot()
+        p = self._proto(1, view_size=2)
+        p.merge(own, [entry(i, likes=(1,)) for i in range(10, 20)])
+        assert len(p.view) == 2
+
+    def test_wup_vs_cosine_instantiation(self):
+        # the protocol is metric-agnostic: same candidates, different ranking
+        from repro.core.similarity import cosine_similarity
+
+        own = make_user_profile([1, 2, 3, 4]).snapshot()
+        candidates = [
+            entry(10, likes=(1,)),            # selective: WUP favours
+            entry(11, likes=(1, 2, 3, 4, 5, 6, 7, 8)),  # broad overlap: cosine favours
+        ]
+        wup_p = ClusteringProtocol(1, 1, wup_similarity, np.random.default_rng(0))
+        cos_p = ClusteringProtocol(1, 1, cosine_similarity, np.random.default_rng(0))
+        wup_p.merge(own, candidates)
+        cos_p.merge(own, candidates)
+        assert wup_p.view.node_ids() == [10]
+        assert cos_p.view.node_ids() == [11]

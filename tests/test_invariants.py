@@ -1,0 +1,142 @@
+"""System-level invariants that must hold for every protocol and workload.
+
+These pin down the simulation's *semantic* correctness: SIR delivery
+uniqueness, TTL bounds, hop/cycle consistency, message conservation —
+properties that hold regardless of parameters and would silently corrupt
+every metric if violated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import WhatsUpConfig
+from repro.datasets import digg_dataset, survey_dataset, synthetic_dataset
+from repro.experiments import build_system
+from repro.network.message import MessageKind
+from repro.network.transport import UniformLossTransport
+
+
+SYSTEMS = ("whatsup", "whatsup-cos", "cf-wup", "gossip", "c-whatsup")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return survey_dataset(n_base_users=50, n_base_items=60, seed=6, publish_cycles=20)
+
+
+@pytest.fixture(scope="module", params=SYSTEMS)
+def finished_system(request, workload):
+    system = build_system(request.param, workload, fanout=5, seed=4)
+    system.run()
+    return system
+
+
+class TestDeliveryInvariants:
+    def test_at_most_one_delivery_per_user_item(self, finished_system):
+        arr = finished_system.log.arrays()
+        pairs = set(zip(arr["d_node"].tolist(), arr["d_item"].tolist()))
+        assert len(pairs) == finished_system.log.n_deliveries
+
+    def test_publisher_counted_at_hop_zero(self, finished_system, workload):
+        arr = finished_system.log.arrays()
+        zero_hops = arr["d_hops"] == 0
+        # exactly one hop-0 delivery per published item (its source)
+        assert zero_hops.sum() == workload.n_items
+        sources = {it.source for it in workload.items}
+        assert set(arr["d_node"][zero_hops].tolist()) <= sources
+
+    def test_hops_equal_cycles_since_publication(self, finished_system, workload):
+        # one hop per cycle: receipt cycle - publication cycle == hops
+        arr = finished_system.log.arrays()
+        pub_cycle = np.array([it.created_at for it in workload.items])
+        assert (
+            arr["d_cycle"] - pub_cycle[arr["d_item"]] == arr["d_hops"]
+        ).all()
+
+    def test_reached_within_population(self, finished_system, workload):
+        arr = finished_system.log.arrays()
+        assert (arr["d_node"] >= 0).all()
+        assert (arr["d_node"] < workload.n_users).all()
+        assert (arr["d_item"] >= 0).all()
+        assert (arr["d_item"] < workload.n_items).all()
+
+
+class TestTtlInvariants:
+    @pytest.mark.parametrize("ttl", [0, 1, 4])
+    def test_dislike_counter_bounded_by_ttl(self, workload, ttl):
+        system = build_system(
+            "whatsup", workload, seed=4, config=WhatsUpConfig(f_like=5, beep_ttl=ttl)
+        )
+        system.run()
+        arr = system.log.arrays()
+        if len(arr["d_dislikes"]):
+            assert int(arr["d_dislikes"].max()) <= ttl
+
+    def test_dislike_forward_counts_bounded(self, workload):
+        # each dislike-forward targets exactly f_dislike (=1) node
+        system = build_system("whatsup", workload, fanout=5, seed=4)
+        system.run()
+        arr = system.log.arrays()
+        dislike_forwards = arr["f_targets"][~arr["f_liked"]]
+        if len(dislike_forwards):
+            assert int(dislike_forwards.max()) == 1
+
+    def test_like_forward_counts_bounded_by_fanout(self, workload):
+        system = build_system("whatsup", workload, fanout=5, seed=4)
+        system.run()
+        arr = system.log.arrays()
+        like_forwards = arr["f_targets"][arr["f_liked"]]
+        assert int(like_forwards.max()) <= 5
+
+
+class TestMessageConservation:
+    def test_deliveries_plus_duplicates_equal_delivered_messages(self, workload):
+        # on a lossless network every sent item message is delivered, and
+        # each delivery is either a first receipt or a duplicate; sources'
+        # own hop-0 receipts are not messages
+        system = build_system("whatsup", workload, fanout=5, seed=4)
+        system.run()
+        delivered = system.stats.delivered[MessageKind.ITEM]
+        first_receipts = system.log.n_deliveries - workload.n_items
+        assert delivered == first_receipts + system.log.duplicates
+
+    def test_loss_conservation(self, workload):
+        system = build_system(
+            "whatsup",
+            workload,
+            fanout=5,
+            seed=4,
+            transport=UniformLossTransport(0.3),
+        )
+        system.run()
+        s = system.stats
+        for kind in MessageKind:
+            assert s.sent[kind] == s.delivered[kind] + s.dropped[kind]
+
+    def test_forward_targets_equal_item_messages(self, workload):
+        system = build_system("whatsup", workload, fanout=5, seed=4)
+        system.run()
+        arr = system.log.arrays()
+        assert int(arr["f_targets"].sum()) == system.stats.sent[MessageKind.ITEM]
+
+
+class TestCrossDatasetSmoke:
+    @pytest.mark.parametrize(
+        "dataset_factory",
+        [
+            lambda: synthetic_dataset(
+                n_users=60, n_communities=4, items_per_community=6, seed=6, publish_cycles=20
+            ),
+            lambda: digg_dataset(n_users=50, n_items=60, seed=6, publish_cycles=20),
+        ],
+        ids=["synthetic", "digg"],
+    )
+    def test_whatsup_runs_on_every_workload(self, dataset_factory):
+        ds = dataset_factory()
+        system = build_system("whatsup", ds, fanout=5, seed=4)
+        system.run()
+        assert system.log.n_deliveries >= ds.n_items  # at least the sources
+        reached = system.reached_matrix()
+        assert reached.any()

@@ -1,0 +1,280 @@
+"""Unit and property tests for the metrics subpackage (paper §IV-C, §V)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    average_clustering,
+    bandwidth_breakdown,
+    dislike_counter_distribution,
+    evaluate_dissemination,
+    f1_vs_sociability,
+    hops_breakdown,
+    in_degree_concentration,
+    lscc_fraction,
+    overlay_graph,
+    per_item_scores,
+    per_user_scores,
+    recall_vs_popularity,
+    sociability,
+    weak_component_count,
+)
+from repro.metrics.retrieval import RetrievalScores
+from repro.network.message import Envelope, MessageKind
+from repro.network.stats import TrafficStats
+from repro.simulation.events import DisseminationLog
+
+
+class TestRetrievalScores:
+    def test_perfect_delivery(self):
+        likes = np.array([[True, False], [False, True]])
+        s = evaluate_dissemination(likes, likes)
+        assert s.as_tuple() == (1.0, 1.0, 1.0)
+
+    def test_broadcast_precision_is_like_rate(self):
+        likes = np.zeros((4, 5), dtype=bool)
+        likes[0, :3] = True
+        reached = np.ones_like(likes)
+        s = evaluate_dissemination(reached, likes)
+        assert s.precision == pytest.approx(likes.mean())
+        assert s.recall == 1.0
+
+    def test_nothing_delivered(self):
+        likes = np.ones((2, 2), dtype=bool)
+        s = evaluate_dissemination(np.zeros_like(likes), likes)
+        assert s.as_tuple() == (0.0, 0.0, 0.0)
+
+    def test_hand_computed_f1(self):
+        # 2 reached, 1 interesting among them, 4 interested overall
+        likes = np.zeros((4, 1), dtype=bool)
+        likes[:, 0] = [True, True, True, True]
+        reached = np.zeros_like(likes)
+        reached[0, 0] = reached[1, 0] = True
+        s = evaluate_dissemination(reached, likes)
+        assert s.precision == 1.0
+        assert s.recall == 0.5
+        assert s.f1 == pytest.approx(2 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            evaluate_dissemination(np.ones((2, 2), bool), np.ones((2, 3), bool))
+
+    def test_from_counts_zero_safe(self):
+        s = RetrievalScores.from_counts(0, 0, 0)
+        assert s.as_tuple() == (0.0, 0.0, 0.0)
+
+    @given(
+        st.integers(1, 8).flatmap(
+            lambda n: st.tuples(
+                st.lists(
+                    st.lists(st.booleans(), min_size=n, max_size=n),
+                    min_size=2,
+                    max_size=6,
+                ),
+                st.lists(
+                    st.lists(st.booleans(), min_size=n, max_size=n),
+                    min_size=2,
+                    max_size=6,
+                ),
+            ).filter(lambda t: len(t[0]) == len(t[1]))
+        )
+    )
+    def test_property_bounds(self, mats):
+        reached = np.array(mats[0], dtype=bool)
+        likes = np.array(mats[1], dtype=bool)
+        s = evaluate_dissemination(reached, likes)
+        assert 0.0 <= s.precision <= 1.0
+        assert 0.0 <= s.recall <= 1.0
+        assert min(s.precision, s.recall) - 1e-12 <= s.f1 <= max(s.precision, s.recall) + 1e-12
+
+
+class TestPerItemUserScores:
+    def test_per_item_matches_micro_for_single_item(self):
+        likes = np.array([[True], [False], [True]])
+        reached = np.array([[True], [True], [False]])
+        p, r, f1 = per_item_scores(reached, likes)
+        micro = evaluate_dissemination(reached, likes)
+        assert p[0] == pytest.approx(micro.precision)
+        assert r[0] == pytest.approx(micro.recall)
+
+    def test_per_user_rows(self):
+        likes = np.array([[True, True], [True, False]])
+        reached = np.array([[True, False], [True, False]])
+        p, r, f1 = per_user_scores(reached, likes)
+        assert r[0] == pytest.approx(0.5)
+        assert r[1] == pytest.approx(1.0)
+
+    def test_empty_columns_are_zero(self):
+        likes = np.zeros((2, 2), dtype=bool)
+        reached = np.zeros((2, 2), dtype=bool)
+        p, r, f1 = per_item_scores(reached, likes)
+        assert (p == 0).all() and (r == 0).all() and (f1 == 0).all()
+
+
+class TestGraphMetrics:
+    def _ring(self, n=6):
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        for i in range(n):
+            g.add_edge(i, (i + 1) % n)
+        return g
+
+    def test_lscc_ring_is_one(self):
+        assert lscc_fraction(self._ring()) == 1.0
+
+    def test_lscc_line_is_fraction(self):
+        g = nx.DiGraph([(0, 1), (1, 2)])
+        assert lscc_fraction(g) == pytest.approx(1 / 3)
+
+    def test_lscc_empty(self):
+        assert lscc_fraction(nx.DiGraph()) == 0.0
+
+    def test_weak_components(self):
+        g = nx.DiGraph([(0, 1), (2, 3)])
+        assert weak_component_count(g) == 2
+        assert weak_component_count(nx.DiGraph()) == 0
+
+    def test_average_clustering_triangle(self):
+        g = nx.DiGraph([(0, 1), (1, 2), (2, 0)])
+        assert average_clustering(g) == pytest.approx(1.0)
+
+    def test_in_degree_concentration_star(self):
+        g = nx.DiGraph((i, 0) for i in range(1, 21))
+        assert in_degree_concentration(g, top_fraction=0.05) == pytest.approx(1.0)
+
+    def test_overlay_graph_from_nodes(self):
+        from repro.core import WhatsUpConfig, WhatsUpSystem
+        from repro.datasets import survey_dataset
+
+        ds = survey_dataset(n_base_users=20, n_base_items=20, seed=1)
+        system = WhatsUpSystem(ds, WhatsUpConfig(f_like=3), seed=1)
+        g = overlay_graph(system.nodes)
+        assert g.number_of_nodes() == 20
+        assert g.number_of_edges() > 0
+        # every edge endpoint is in the node's WUP view
+        node0 = system.nodes[0]
+        assert set(g.successors(0)) == set(node0.wup.view.node_ids())
+
+    def test_overlay_graph_excludes_dead(self):
+        from repro.core import WhatsUpConfig, WhatsUpSystem
+        from repro.datasets import survey_dataset
+
+        ds = survey_dataset(n_base_users=10, n_base_items=10, seed=1)
+        system = WhatsUpSystem(ds, WhatsUpConfig(f_like=2), seed=1)
+        system.nodes[3].alive = False
+        g = overlay_graph(system.nodes)
+        assert 3 not in g
+
+    def test_overlay_graph_requires_view(self):
+        class Bare:
+            node_id = 1
+            alive = True
+
+        with pytest.raises(AttributeError):
+            overlay_graph([Bare()])
+
+
+class TestDisseminationMetrics:
+    def _log(self) -> DisseminationLog:
+        log = DisseminationLog()
+        # liked deliveries with dislike counters 0,0,1,2
+        for i, d in enumerate([0, 0, 1, 2]):
+            log.log_delivery(i, i, 1, hops=i, dislikes=d, liked=True, via_like=True)
+        # one disliked delivery (ignored by Table IV)
+        log.log_delivery(4, 4, 1, hops=1, dislikes=4, liked=False, via_like=False)
+        return log
+
+    def test_dislike_distribution(self):
+        dist = dislike_counter_distribution(self._log())
+        assert dist[0] == pytest.approx(0.5)
+        assert dist[1] == pytest.approx(0.25)
+        assert dist[2] == pytest.approx(0.25)
+        assert dist[3] == 0.0
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_dislike_distribution_empty(self):
+        dist = dislike_counter_distribution(DisseminationLog())
+        assert all(v == 0.0 for v in dist.values())
+
+    def test_hops_breakdown_series(self):
+        log = DisseminationLog()
+        log.log_forward(0, 0, 0, hops=0, liked=True, n_targets=3)
+        log.log_forward(0, 1, 1, hops=1, liked=False, n_targets=1)
+        log.log_delivery(0, 1, 1, hops=1, dislikes=0, liked=True, via_like=True)
+        log.log_delivery(0, 2, 2, hops=2, dislikes=1, liked=False, via_like=False)
+        hb = hops_breakdown(log)
+        assert hb.forwards_by_like[0] == 1
+        assert hb.forwards_by_dislike[1] == 1
+        assert hb.infections_by_like[1] == 1
+        assert hb.infections_by_dislike[2] == 1
+        assert hb.mean_infection_hops() == pytest.approx(1.5)
+
+    def test_hops_breakdown_empty(self):
+        hb = hops_breakdown(DisseminationLog())
+        assert hb.max_hops == 0
+        assert hb.mean_infection_hops() == 0.0
+
+
+class TestPopularitySociability:
+    def test_recall_vs_popularity_bins(self):
+        likes = np.zeros((10, 4), dtype=bool)
+        likes[:2, 0] = True  # popularity 0.2
+        likes[:8, 1] = True  # popularity 0.8
+        likes[:2, 2] = True
+        likes[:8, 3] = True
+        reached = likes.copy()
+        reached[:4, 1] = False  # item 1 recall 0.5
+        reached[:4, 3] = False
+        centres, recall, fraction = recall_vs_popularity(reached, likes, n_bins=5)
+        assert fraction.sum() == pytest.approx(1.0)
+        # popularity 0.2 lands in bin 1 (right-closed edges), 0.8 in bin 4
+        assert recall[1] == pytest.approx(1.0)
+        assert recall[4] == pytest.approx(0.5)
+
+    def test_sociability_identical_users_high(self):
+        likes = np.tile(np.array([[True, True, False, False]]), (5, 1))
+        soc = sociability(likes, k=3)
+        assert np.allclose(soc, 1.0)
+
+    def test_sociability_loner_low(self):
+        likes = np.zeros((5, 6), dtype=bool)
+        likes[:4, :3] = True  # a clique
+        likes[4, 3:] = True  # a loner
+        soc = sociability(likes, k=3)
+        assert soc[4] < soc[0]
+
+    def test_f1_vs_sociability_shapes(self):
+        rng = np.random.default_rng(1)
+        likes = rng.random((30, 20)) < 0.3
+        reached = rng.random((30, 20)) < 0.5
+        centres, f1, fraction = f1_vs_sociability(reached, likes, n_bins=8)
+        assert len(centres) == len(f1) == len(fraction) == 8
+        assert fraction.sum() == pytest.approx(1.0)
+
+
+class TestBandwidth:
+    def test_breakdown_split(self):
+        stats = TrafficStats()
+
+        def env(kind, size):
+            return Envelope(0, 1, kind, None, size)
+
+        stats.record(env(MessageKind.ITEM, 3000), True)
+        stats.record(env(MessageKind.RPS, 1500), True)
+        stats.record(env(MessageKind.WUP, 1500), True)
+        bw = bandwidth_breakdown(stats, n_nodes=1, n_cycles=1, cycle_seconds=1.0)
+        assert bw.beep_kbps == pytest.approx(24.0)  # 3000*8/1000
+        assert bw.wup_kbps == pytest.approx(24.0)
+        assert bw.total_kbps == pytest.approx(48.0)
+        assert bw.as_row() == (bw.total_kbps, bw.wup_kbps, bw.beep_kbps)
+
+    def test_dropped_bytes_not_counted(self):
+        stats = TrafficStats()
+        stats.record(Envelope(0, 1, MessageKind.ITEM, None, 8000), False)
+        bw = bandwidth_breakdown(stats, 1, 1, 1.0)
+        assert bw.total_kbps == 0.0

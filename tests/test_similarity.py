@@ -1,0 +1,262 @@
+"""Unit and property tests for the similarity metrics (paper §II, §V-A)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.similarity import (
+    available_metrics,
+    cosine_similarity,
+    get_metric,
+    jaccard_similarity,
+    overlap_similarity,
+    pairwise_cosine,
+    pairwise_wup,
+    similarity_matrix,
+    wup_similarity,
+)
+from repro.utils.exceptions import ConfigurationError
+from tests.conftest import make_item_profile, make_user_profile
+
+
+class TestWupSimilarity:
+    def test_disjoint_profiles_zero(self):
+        a = make_user_profile([1, 2])
+        b = make_user_profile([3, 4])
+        assert wup_similarity(a, b) == 0.0
+
+    def test_identical_profiles_one(self):
+        a = make_user_profile([1, 2, 3])
+        b = make_user_profile([1, 2, 3])
+        assert wup_similarity(a, b) == pytest.approx(1.0)
+
+    def test_empty_profiles_zero(self):
+        empty = make_user_profile([])
+        full = make_user_profile([1])
+        assert wup_similarity(empty, full) == 0.0
+        assert wup_similarity(full, empty) == 0.0
+        assert wup_similarity(empty, empty) == 0.0
+
+    def test_hand_computed_value(self):
+        # n likes {1,2}, dislikes {3}; c likes {1,3}.
+        # common likes = {1}; sub(Pn,Pc) over ids {1,3} -> scores (1, 0),
+        # norm 1; ||Pc|| = sqrt(2)  =>  1/sqrt(2).
+        n = make_user_profile([1, 2], dislikes=[3])
+        c = make_user_profile([1, 3])
+        assert wup_similarity(n, c) == pytest.approx(1 / math.sqrt(2))
+
+    def test_asymmetry(self):
+        n = make_user_profile([1, 2], dislikes=[3])
+        c = make_user_profile([1, 3])
+        assert wup_similarity(n, c) != pytest.approx(wup_similarity(c, n))
+
+    def test_candidate_disliking_my_likes_is_penalised(self):
+        # §II: discourage selecting neighbours that explicitly dislike what
+        # n likes: a dislike adds to the sub-norm denominator.
+        n = make_user_profile([1, 2])
+        agreeing = make_user_profile([1])          # likes one of mine
+        spammer = make_user_profile([1], dislikes=[2])  # also dislikes one
+        assert wup_similarity(n, spammer) < wup_similarity(n, agreeing)
+
+    def test_small_selective_profiles_preferred(self):
+        # Dividing by ||P_c|| favours candidates with more restrictive
+        # tastes: same overlap, smaller candidate profile -> higher score.
+        n = make_user_profile([1, 2, 3])
+        selective = make_user_profile([1])
+        broad = make_user_profile([1, 7, 8, 9])
+        assert wup_similarity(n, selective) > wup_similarity(n, broad)
+
+    def test_cold_start_node_is_attractive(self):
+        # A fresh node that liked 3 popular items scores higher (as a
+        # candidate) than an established node with the same 3 items buried
+        # in a big profile — the §II-D cold-start argument.
+        popular = [100, 101, 102]
+        chooser = make_user_profile(popular + [5, 6])
+        newbie = make_user_profile(popular)
+        veteran = make_user_profile(popular + list(range(20, 40)))
+        assert wup_similarity(chooser, newbie) > wup_similarity(chooser, veteran)
+
+    def test_item_profile_candidate_general_path(self):
+        # BEEP orientation compares user profiles with *real-valued* item
+        # profiles, exercising the non-binary path.
+        user = make_user_profile([1, 2])
+        item = make_item_profile({1: 0.5, 3: 1.0})
+        # sub(P_user, P_item) over {1} -> (1,); dot = 0.5;
+        # sub norm = 1; ||P_item|| = sqrt(0.25 + 1)
+        expected = 0.5 / math.sqrt(1.25)
+        assert wup_similarity(user, item) == pytest.approx(expected)
+
+    def test_binary_fast_path_matches_general_path(self):
+        # The set-based fast path and the dict-based general path must agree
+        # on binary inputs: compare via frozen profile without binary flag.
+        n = make_user_profile([1, 2, 5], dislikes=[3, 9])
+        c = make_user_profile([1, 3, 5], dislikes=[2])
+        fast = wup_similarity(n, c)
+        from repro.core.profiles import FrozenProfile
+
+        n_gen = FrozenProfile(dict(n.scores), is_binary=False)
+        c_gen = FrozenProfile(dict(c.scores), is_binary=False)
+        assert fast == pytest.approx(wup_similarity(n_gen, c_gen))
+
+
+class TestCosineSimilarity:
+    def test_identical_profiles_one(self):
+        a = make_user_profile([1, 2])
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a = make_user_profile([1, 2], dislikes=[4])
+        b = make_user_profile([2, 3])
+        assert cosine_similarity(a, b) == pytest.approx(cosine_similarity(b, a))
+
+    def test_hand_computed_value(self):
+        a = make_user_profile([1, 2])
+        b = make_user_profile([1, 3])
+        assert cosine_similarity(a, b) == pytest.approx(0.5)
+
+    def test_dislikes_do_not_count_in_cosine(self):
+        # binary cosine only sees like-overlap: dislikes have score 0.
+        a = make_user_profile([1], dislikes=[2])
+        b = make_user_profile([1], dislikes=[3])
+        assert cosine_similarity(a, b) == pytest.approx(1.0)
+
+    def test_general_path_real_scores(self):
+        a = make_item_profile({1: 0.5, 2: 0.5})
+        b = make_item_profile({1: 1.0})
+        expected = 0.5 / (math.sqrt(0.5) * 1.0)
+        assert cosine_similarity(a, b) == pytest.approx(expected)
+
+
+class TestSetMetrics:
+    def test_jaccard(self):
+        a = make_user_profile([1, 2, 3])
+        b = make_user_profile([2, 3, 4])
+        assert jaccard_similarity(a, b) == pytest.approx(2 / 4)
+
+    def test_overlap(self):
+        a = make_user_profile([1, 2])
+        b = make_user_profile([1, 2, 3, 4])
+        assert overlap_similarity(a, b) == pytest.approx(1.0)
+
+    def test_empty_zero(self):
+        a = make_user_profile([])
+        b = make_user_profile([1])
+        assert jaccard_similarity(a, b) == 0.0
+        assert overlap_similarity(a, b) == 0.0
+
+
+class TestMetricRegistry:
+    def test_lookup_all(self):
+        for name in available_metrics():
+            assert callable(get_metric(name))
+
+    def test_case_insensitive(self):
+        assert get_metric("WUP") is wup_similarity
+        assert get_metric("Cosine") is cosine_similarity
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown similarity"):
+            get_metric("pearson-ish")
+
+
+class TestPairwiseForms:
+    def _random_binary(self, rng, n_users=12, n_items=25, density=0.3):
+        rated = rng.random((n_users, n_items)) < 0.5
+        liked = rated & (rng.random((n_users, n_items)) < density / 0.5)
+        return liked, rated
+
+    def test_pairwise_cosine_matches_scalar(self, rng):
+        liked, rated = self._random_binary(rng)
+        mat = pairwise_cosine(liked)
+        for a in range(liked.shape[0]):
+            for b in range(liked.shape[0]):
+                pa = make_user_profile(list(np.flatnonzero(liked[a])))
+                pb = make_user_profile(list(np.flatnonzero(liked[b])))
+                assert mat[a, b] == pytest.approx(
+                    cosine_similarity(pa, pb), abs=1e-12
+                )
+
+    def test_pairwise_wup_matches_scalar(self, rng):
+        liked, rated = self._random_binary(rng)
+        mat = pairwise_wup(liked, rated)
+        for a in range(liked.shape[0]):
+            for b in range(liked.shape[0]):
+                pa = make_user_profile(
+                    list(np.flatnonzero(liked[a])),
+                    dislikes=list(np.flatnonzero(rated[a] & ~liked[a])),
+                )
+                pb = make_user_profile(
+                    list(np.flatnonzero(liked[b])),
+                    dislikes=list(np.flatnonzero(rated[b] & ~liked[b])),
+                )
+                assert mat[a, b] == pytest.approx(
+                    wup_similarity(pa, pb), abs=1e-12
+                )
+
+    def test_pairwise_wup_shape_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            pairwise_wup(np.zeros((2, 3), bool), np.zeros((2, 4), bool))
+
+    def test_similarity_matrix_dispatch(self, rng):
+        liked, rated = self._random_binary(rng)
+        np.testing.assert_allclose(
+            similarity_matrix(liked, rated, "wup"), pairwise_wup(liked, rated)
+        )
+        np.testing.assert_allclose(
+            similarity_matrix(liked, rated, "cosine"), pairwise_cosine(liked)
+        )
+        jac = similarity_matrix(liked, rated, "jaccard")
+        assert jac.shape == (liked.shape[0],) * 2
+
+    def test_similarity_matrix_unknown_metric(self, rng):
+        liked, rated = self._random_binary(rng)
+        with pytest.raises(ConfigurationError):
+            similarity_matrix(liked, rated, "nope")
+
+
+# ---------------------------------------------------------------------------
+# property-based invariants
+# ---------------------------------------------------------------------------
+
+like_sets = st.sets(st.integers(0, 40), max_size=20)
+
+
+class TestMetricProperties:
+    @given(like_sets, like_sets, like_sets, like_sets)
+    def test_all_metrics_in_unit_interval(self, la, da, lb, db):
+        a = make_user_profile(sorted(la), dislikes=sorted(da - la))
+        b = make_user_profile(sorted(lb), dislikes=sorted(db - lb))
+        for name in available_metrics():
+            val = get_metric(name)(a, b)
+            assert 0.0 <= val <= 1.0 + 1e-12, name
+
+    @given(like_sets, like_sets)
+    def test_cosine_symmetric(self, la, lb):
+        a = make_user_profile(sorted(la))
+        b = make_user_profile(sorted(lb))
+        assert cosine_similarity(a, b) == pytest.approx(cosine_similarity(b, a))
+
+    @given(like_sets)
+    def test_self_similarity_is_one_for_nonempty(self, la):
+        if not la:
+            return
+        a = make_user_profile(sorted(la))
+        assert wup_similarity(a, a) == pytest.approx(1.0)
+        assert cosine_similarity(a, a) == pytest.approx(1.0)
+        assert jaccard_similarity(a, a) == pytest.approx(1.0)
+
+    @given(like_sets, like_sets, st.sets(st.integers(41, 60), max_size=10))
+    def test_wup_monotone_penalty_under_extra_dislikes(self, la, lb, extra):
+        # Adding dislikes (of n's liked items) to the candidate can only
+        # lower or keep n's similarity towards it.
+        if not la or not lb:
+            return
+        n = make_user_profile(sorted(la | extra))
+        c_clean = make_user_profile(sorted(lb))
+        c_spam = make_user_profile(sorted(lb), dislikes=sorted(extra))
+        assert wup_similarity(n, c_spam) <= wup_similarity(n, c_clean) + 1e-12

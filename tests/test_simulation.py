@@ -1,0 +1,111 @@
+"""Unit tests for schedules and dissemination logs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.news import NewsItem
+from repro.simulation.events import DisseminationLog
+from repro.simulation.schedule import PublicationSchedule
+from repro.utils.exceptions import ConfigurationError
+
+
+def items(n: int, publish_cycles: int = 5) -> list[NewsItem]:
+    return [
+        NewsItem.publish(
+            source=i % 3,
+            created_at=PublicationSchedule.publication_cycle_of(i, n, publish_cycles),
+            title=f"item-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestPublicationSchedule:
+    def test_uniform_spreads_all_items(self):
+        sched = PublicationSchedule.uniform(items(10), publish_cycles=5)
+        total = sum(len(sched.items_at(c)) for c in range(5))
+        assert total == 10
+        assert sched.n_items == 10
+
+    def test_uniform_balanced(self):
+        sched = PublicationSchedule.uniform(items(10), publish_cycles=5)
+        for c in range(5):
+            assert len(sched.items_at(c)) == 2
+
+    def test_items_at_empty_cycle(self):
+        sched = PublicationSchedule.uniform(items(2, 1), publish_cycles=1)
+        assert sched.items_at(99) == []
+
+    def test_last_cycle(self):
+        sched = PublicationSchedule.uniform(items(10), publish_cycles=5)
+        assert sched.last_cycle == 4
+
+    def test_index_of_is_dense_and_ordered(self):
+        its = items(6)
+        sched = PublicationSchedule.uniform(its, publish_cycles=5)
+        for i, item in enumerate(its):
+            assert sched.index_of(item.item_id) == i
+
+    def test_duplicate_item_rejected(self):
+        it = items(1, 1)[0]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            PublicationSchedule([(0, it), (1, it)])
+
+    def test_negative_cycle_rejected(self):
+        it = items(1, 1)[0]
+        with pytest.raises(ConfigurationError):
+            PublicationSchedule([(-1, it)])
+
+    def test_zero_publish_cycles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PublicationSchedule.uniform(items(3, 1), publish_cycles=0)
+
+    def test_publication_cycle_of_monotone(self):
+        cycles = [
+            PublicationSchedule.publication_cycle_of(i, 100, 10) for i in range(100)
+        ]
+        assert cycles == sorted(cycles)
+        assert min(cycles) == 0 and max(cycles) == 9
+
+
+class TestDisseminationLog:
+    def test_log_and_arrays(self):
+        log = DisseminationLog()
+        log.log_delivery(0, 5, 1, 2, 1, True, True)
+        log.log_delivery(1, 6, 2, 0, 0, False, False)
+        log.log_forward(0, 5, 1, 2, True, 3)
+        arr = log.arrays()
+        assert arr["d_item"].tolist() == [0, 1]
+        assert arr["d_liked"].tolist() == [True, False]
+        assert arr["f_targets"].tolist() == [3]
+        assert log.n_deliveries == 2
+        assert log.n_forwards == 1
+
+    def test_duplicates_counted(self):
+        log = DisseminationLog()
+        log.log_duplicate()
+        log.log_duplicate()
+        assert log.duplicates == 2
+
+    def test_arrays_cache_invalidated_on_append(self):
+        log = DisseminationLog()
+        log.log_delivery(0, 1, 0, 0, 0, True, True)
+        first = log.arrays()
+        log.log_delivery(1, 2, 0, 0, 0, True, True)
+        assert len(log.arrays()["d_item"]) == 2
+        assert len(first["d_item"]) == 1  # old snapshot unchanged
+
+    def test_reached_matrix(self):
+        log = DisseminationLog()
+        log.log_delivery(0, 1, 0, 0, 0, True, True)
+        log.log_delivery(2, 3, 0, 0, 0, False, True)
+        reached = log.reached_matrix(n_nodes=4, n_items=3)
+        assert reached.shape == (4, 3)
+        assert reached[1, 0] and reached[3, 2]
+        assert reached.sum() == 2
+
+    def test_reached_matrix_empty(self):
+        reached = DisseminationLog().reached_matrix(3, 2)
+        assert not reached.any()

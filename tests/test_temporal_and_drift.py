@@ -1,0 +1,176 @@
+"""Tests for the latency extension (temporal metrics, LatencyTransport)
+and the interest-drift workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import WhatsUpConfig, WhatsUpSystem
+from repro.datasets.drift import drifting_survey_dataset
+from repro.metrics.temporal import (
+    LatencySummary,
+    delivery_latencies,
+    latency_summary,
+    time_to_audience,
+)
+from repro.network.message import Envelope, MessageKind
+from repro.network.transport import LatencyTransport, UniformLossTransport
+from repro.simulation.events import DisseminationLog
+from repro.utils.exceptions import DatasetError
+
+
+def env(target=1):
+    return Envelope(0, target, MessageKind.ITEM, None, 100)
+
+
+class TestLatencyTransport:
+    def test_unit_tail_is_one_cycle(self, rng):
+        t = LatencyTransport(tail=1.0)
+        assert all(t.delay(env(), rng) == 1 for _ in range(50))
+
+    def test_geometric_tail_produces_spread(self, rng):
+        t = LatencyTransport(tail=0.4)
+        delays = [t.delay(env(), rng) for _ in range(3000)]
+        assert min(delays) == 1
+        assert max(delays) > 3
+        assert np.mean(delays) == pytest.approx(1 / 0.4, rel=0.15)
+
+    def test_slow_nodes_scaled(self, rng):
+        t = LatencyTransport(tail=1.0, slow_fraction=1.0, slow_multiplier=4)
+        t.setup(range(10), rng)
+        assert len(t.slow_nodes) == 10
+        assert all(t.delay(env(target=3), rng) == 4 for _ in range(20))
+
+    def test_wraps_inner_loss_model(self, rng):
+        t = LatencyTransport(UniformLossTransport(1.0))
+        assert not t.attempt(env(), rng)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            LatencyTransport(tail=0.0)
+        with pytest.raises(Exception):
+            LatencyTransport(slow_multiplier=0)
+
+    def test_end_to_end_delays_slow_dissemination(self):
+        from repro.datasets import survey_dataset
+
+        ds = survey_dataset(n_base_users=40, n_base_items=50, seed=3, publish_cycles=20)
+        fast = WhatsUpSystem(ds, WhatsUpConfig(f_like=4), seed=1)
+        fast.run()
+        slow = WhatsUpSystem(
+            ds,
+            WhatsUpConfig(f_like=4),
+            seed=1,
+            transport=LatencyTransport(tail=0.3),
+        )
+        slow.run()
+        pub = np.array([it.created_at for it in ds.items])
+        lat_fast = latency_summary(fast.log, pub, liked_only=False)
+        lat_slow = latency_summary(slow.log, pub, liked_only=False)
+        assert lat_slow.mean > lat_fast.mean
+
+
+class TestTemporalMetrics:
+    def _log(self):
+        log = DisseminationLog()
+        # item 0 published at cycle 2: deliveries at cycles 2, 4, 8
+        for node, cyc, hops, liked in ((0, 2, 0, True), (1, 4, 2, True), (2, 8, 6, False)):
+            log.log_delivery(0, node, cyc, hops, 0, liked, True)
+        return log
+
+    def test_delivery_latencies(self):
+        lat = delivery_latencies(self._log(), np.array([2]))
+        assert sorted(lat.tolist()) == [0, 2, 6]
+
+    def test_liked_only_filter(self):
+        lat = delivery_latencies(self._log(), np.array([2]), liked_only=True)
+        assert sorted(lat.tolist()) == [0, 2]
+
+    def test_latency_summary_values(self):
+        s = latency_summary(self._log(), np.array([2]), liked_only=False)
+        assert isinstance(s, LatencySummary)
+        assert s.mean == pytest.approx(8 / 3)
+        assert s.median == pytest.approx(2)
+        assert s.max == 6
+
+    def test_latency_summary_empty(self):
+        s = latency_summary(DisseminationLog(), np.array([0]))
+        assert s.as_row() == (0.0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_time_to_audience(self):
+        tta = time_to_audience(self._log(), np.array([2]), n_items=1, fraction=0.9)
+        # 90% of 3 deliveries -> 3rd delivery at cycle 8 -> latency 6
+        assert tta.tolist() == [6]
+        tta_half = time_to_audience(self._log(), np.array([2]), n_items=1, fraction=0.5)
+        # 50% of 3 -> 2nd delivery at cycle 4 -> latency 2
+        assert tta_half.tolist() == [2]
+
+    def test_time_to_audience_validation(self):
+        with pytest.raises(ValueError):
+            time_to_audience(DisseminationLog(), np.array([0]), 1, fraction=0.0)
+
+    def test_unreached_items_report_zero(self):
+        tta = time_to_audience(self._log(), np.array([2, 5]), n_items=2)
+        assert tta[1] == 0
+
+
+class TestDriftingDataset:
+    def test_basic_shape(self):
+        ds = drifting_survey_dataset(
+            n_base_users=40, n_base_items=60, n_phases=3, seed=2
+        )
+        assert ds.n_users == 40 and ds.n_items == 60
+        assert ds.n_topics == 3 * 15  # phase-tagged topic space
+
+    def test_every_item_has_interested_source(self):
+        ds = drifting_survey_dataset(n_base_users=30, n_base_items=45, seed=2)
+        for idx, item in enumerate(ds.items):
+            assert ds.likes[item.source, idx]
+
+    def test_phases_ordered_in_time(self):
+        ds = drifting_survey_dataset(
+            n_base_users=30, n_base_items=60, n_phases=3, publish_cycles=90, seed=2
+        )
+        phases = ds.item_topics // 15
+        cycles = np.array([it.created_at for it in ds.items])
+        # mean publication cycle increases with phase
+        means = [cycles[phases == p].mean() for p in range(3)]
+        assert means[0] < means[1] < means[2]
+
+    def test_zero_drift_keeps_interest_overlap_high(self):
+        def phase_overlap(ds):
+            phases = ds.item_topics // 15
+            a = ds.likes[:, phases == 0]
+            b = ds.likes[:, phases == 2]
+            # users' like-rate correlation between first and last phase
+            ra = a.mean(axis=1)
+            rb = b.mean(axis=1)
+            return float(np.corrcoef(ra, rb)[0, 1])
+
+        static = drifting_survey_dataset(
+            n_base_users=60, n_base_items=120, drift=0.0, seed=2
+        )
+        drifty = drifting_survey_dataset(
+            n_base_users=60, n_base_items=120, drift=0.9, seed=2
+        )
+        assert phase_overlap(static) > phase_overlap(drifty)
+
+    def test_deterministic(self):
+        a = drifting_survey_dataset(n_base_users=25, n_base_items=40, seed=8)
+        b = drifting_survey_dataset(n_base_users=25, n_base_items=40, seed=8)
+        np.testing.assert_array_equal(a.likes, b.likes)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            drifting_survey_dataset(n_base_items=2, n_phases=5)
+        with pytest.raises(Exception):
+            drifting_survey_dataset(drift=1.5)
+
+    def test_whatsup_runs_on_drift_workload(self):
+        ds = drifting_survey_dataset(
+            n_base_users=40, n_base_items=60, publish_cycles=45, seed=2
+        )
+        system = WhatsUpSystem(ds, WhatsUpConfig(f_like=5, profile_window=15), seed=1)
+        system.run()
+        assert system.log.n_deliveries > ds.n_items
