@@ -1,0 +1,234 @@
+"""End-to-end cycles/sec throughput benchmark (``BENCH_scale_throughput.json``).
+
+Unlike the table/figure benchmarks (which reproduce paper artifacts), this
+benchmark tracks the *simulator's* throughput — how many full WHATSUP cycles
+per second a :class:`~repro.core.system.WhatsUpSystem` sustains — so the
+performance trajectory of the hot paths (similarity scoring, gossip merges,
+BEEP forwarding, the engine loop) is measured end to end, from this PR
+onward.
+
+Three fixed-seed scenarios:
+
+* ``small-survey`` — the default CI-friendly scale;
+* ``medium-survey`` — the acceptance scenario: the survey workload at
+  ``medium`` scale with the paper-swept fanout 16 (heaviest per-user
+  traffic, scoring-dominated merges);
+* ``medium-synthetic`` — the Arxiv-like community workload at ``medium``
+  scale (gossip-machinery-dominated).
+
+Each scenario runs twice: with the vectorised **batch** scoring stack
+(packed snapshots + pool kernels + version-keyed score cache — the default)
+and with the **scalar** per-pair path (``set_batch_scoring(False)``), which
+is the pre-PR-equivalent scoring algorithm.  The run also verifies that
+both paths leave every node with *identical* WUP and RPS view contents and
+profiles after a fixed-seed run — rankings are provably unchanged by the
+batch stack.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scale_throughput.py
+    PYTHONPATH=src python benchmarks/bench_scale_throughput.py --quick
+    PYTHONPATH=src python benchmarks/bench_scale_throughput.py \
+        --baseline-json seed_baseline.json   # merge pre-PR cycles/sec
+
+``--baseline-json`` points at ``{"scenario-name": cycles_per_sec}``
+measurements taken on the pre-PR tree, enabling ``speedup_vs_pre_pr``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.core import WhatsUpConfig, WhatsUpSystem
+from repro.core.similarity import default_score_cache, set_batch_scoring
+from repro.experiments.scale import SCALES
+
+#: benchmark seed (deterministic suite)
+BENCH_SEED = 2
+
+#: scenario name -> (scale, dataset, f_like, total cycles)
+SCENARIOS: dict[str, dict] = {
+    "small-survey": {
+        "scale": "small",
+        "dataset": "survey",
+        "f_like": 8,
+        "cycles": 60,
+    },
+    "medium-survey": {
+        "scale": "medium",
+        "dataset": "survey",
+        "f_like": 16,
+        "cycles": 80,
+    },
+    "medium-synthetic": {
+        "scale": "medium",
+        "dataset": "synthetic",
+        "f_like": 10,
+        "cycles": 40,
+    },
+    # the ISSUE's motivating case: the paper's Table I dimensions
+    # (3180 users); few cycles keep the benchmark tractable — the ratio is
+    # what is tracked
+    "paper-synthetic": {
+        "scale": "paper",
+        "dataset": "synthetic",
+        "f_like": 10,
+        "cycles": 15,
+    },
+}
+
+#: the scenario the acceptance criterion reads
+ACCEPTANCE_SCENARIO = "medium-survey"
+ACCEPTANCE_TARGET = 3.0
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_scale_throughput.json"
+
+
+def build_system(spec: dict, seed: int = BENCH_SEED) -> WhatsUpSystem:
+    scale = SCALES[spec["scale"]]
+    dataset = scale.dataset(spec["dataset"], seed=seed)
+    return WhatsUpSystem(dataset, WhatsUpConfig(f_like=spec["f_like"]), seed=seed)
+
+
+def run_mode(spec: dict, batch: bool, seed: int = BENCH_SEED) -> dict:
+    """One fresh fixed-seed run; returns cycles/sec and run dimensions."""
+    previous = set_batch_scoring(batch)
+    default_score_cache().clear()
+    try:
+        system = build_system(spec, seed)
+        cycles = spec["cycles"]
+        t0 = time.perf_counter()
+        system.engine.run(cycles)
+        elapsed = time.perf_counter() - t0
+    finally:
+        set_batch_scoring(previous)
+    return {
+        "n_users": len(system.nodes),
+        "n_items": system.dataset.n_items,
+        "cycles": cycles,
+        "elapsed_sec": round(elapsed, 3),
+        "cycles_per_sec": round(cycles / elapsed, 4),
+    }
+
+
+def _system_state(system: WhatsUpSystem) -> dict:
+    """The similarity-ranking outputs: view contents + profiles per node."""
+    state = {}
+    for node in system.nodes:
+        state[node.node_id] = (
+            tuple(sorted(node.wup.view.node_ids())),
+            tuple(sorted(node.rps.view.node_ids())),
+            tuple(sorted(node.profile.scores.items())),
+        )
+    return state
+
+
+def check_equivalence(spec: dict, seed: int = BENCH_SEED) -> dict:
+    """Run scalar and batch paths at a fixed seed; compare final states."""
+    states = {}
+    previous = set_batch_scoring(True)
+    try:
+        for mode, batch in (("scalar", False), ("batch", True)):
+            set_batch_scoring(batch)
+            default_score_cache().clear()
+            system = build_system(spec, seed)
+            system.engine.run(spec["cycles"])
+            states[mode] = _system_state(system)
+    finally:
+        set_batch_scoring(previous)
+    identical = states["scalar"] == states["batch"]
+    return {
+        "cycles": spec["cycles"],
+        "seed": seed,
+        "views_and_profiles_identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small-survey scenario only (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    parser.add_argument(
+        "--baseline-json",
+        type=Path,
+        default=None,
+        help="JSON of {scenario: pre-PR cycles/sec} to merge",
+    )
+    args = parser.parse_args(argv)
+
+    baselines: dict[str, float] = {}
+    if args.baseline_json is not None:
+        baselines = json.loads(args.baseline_json.read_text())
+
+    names = ["small-survey"] if args.quick else list(SCENARIOS)
+    report: dict = {
+        "benchmark": "scale_throughput",
+        "schema": 1,
+        "seed": BENCH_SEED,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "scenarios": {},
+    }
+
+    for name in names:
+        spec = SCENARIOS[name]
+        print(f"[{name}] scalar (pre-PR-equivalent scoring path) ...")
+        scalar = run_mode(spec, batch=False)
+        print(f"[{name}]   {scalar['cycles_per_sec']} cycles/sec")
+        print(f"[{name}] batch (packed kernel + score cache) ...")
+        batch = run_mode(spec, batch=True)
+        print(f"[{name}]   {batch['cycles_per_sec']} cycles/sec")
+        entry = {
+            **{k: batch[k] for k in ("n_users", "n_items", "cycles")},
+            "f_like": spec["f_like"],
+            "scalar_cps": scalar["cycles_per_sec"],
+            "batch_cps": batch["cycles_per_sec"],
+            "speedup_batch_vs_scalar": round(
+                batch["cycles_per_sec"] / scalar["cycles_per_sec"], 3
+            ),
+        }
+        if name in baselines:
+            entry["pre_pr_baseline_cps"] = baselines[name]
+            entry["speedup_vs_pre_pr"] = round(
+                batch["cycles_per_sec"] / baselines[name], 3
+            )
+        report["scenarios"][name] = entry
+
+    print("[equivalence] scalar vs batch on small-survey ...")
+    report["equivalence"] = check_equivalence(SCENARIOS["small-survey"])
+    print(f"[equivalence]   {report['equivalence']}")
+
+    cache = default_score_cache()
+    report["cache"] = {"hits": cache.hits, "misses": cache.misses}
+
+    acceptance = report["scenarios"].get(ACCEPTANCE_SCENARIO)
+    if acceptance is not None:
+        achieved = acceptance.get(
+            "speedup_vs_pre_pr", acceptance["speedup_batch_vs_scalar"]
+        )
+        report["acceptance"] = {
+            "scenario": ACCEPTANCE_SCENARIO,
+            "target_speedup": ACCEPTANCE_TARGET,
+            "achieved_speedup": achieved,
+            "met": achieved >= ACCEPTANCE_TARGET,
+        }
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,13 +21,25 @@ stateless apart from its RNG, so one instance per node suffices.
 
 from __future__ import annotations
 
+import heapq
 from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from repro.core.config import WhatsUpConfig
 from repro.core.news import ItemCopy
-from repro.core.similarity import MetricFn
+from repro.core.similarity import (
+    VECTOR_MIN_PAIRS,
+    MetricFn,
+    PackedPool,
+    ScoreCache,
+    batch_scoring_enabled,
+    default_score_cache,
+    get_metric,
+    metric_name_of,
+    pack_profile,
+    wup_pool_vs_item,
+)
 from repro.gossip.views import View, ViewEntry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,22 +60,68 @@ class BeepForwarder:
         with ``metric(candidate_profile, item_profile)``, i.e. the
         candidate is the "chooser" ``n`` of the asymmetric WUP metric (how
         well the item's community profile matches what the candidate
-        likes).
+        likes).  Registered metrics (name or function) are scored through
+        the vectorised batch kernel; unregistered callables fall back to
+        per-candidate scalar calls.
     rng:
         Target-sampling randomness.
+    cache:
+        Score cache for the batch path (shared process-wide by default).
+        Item profiles mutate along the dissemination path, so only the
+        peer-profile side of each pair is reused; the kernel skips caching
+        for pairs without a stable snapshot identity.
     """
 
-    __slots__ = ("config", "metric", "rng")
+    __slots__ = (
+        "config",
+        "metric",
+        "metric_name",
+        "rng",
+        "cache",
+        "_pool_tag",
+        "_pool_view",
+        "_pool_entries",
+        "_pool_profiles",
+        "_pool_binary",
+        "_pool",
+    )
 
     def __init__(
         self,
         config: WhatsUpConfig,
-        metric: MetricFn,
+        metric: MetricFn | str,
         rng: np.random.Generator,
+        cache: ScoreCache | None = None,
     ) -> None:
         self.config = config
-        self.metric = metric
+        self.metric_name = metric_name_of(metric)
+        self.metric = get_metric(metric) if isinstance(metric, str) else metric
         self.rng = rng
+        self.cache = cache if cache is not None else default_score_cache()
+        # packed RPS pool, rebuilt only when the view's content changes: a
+        # node receiving many disliked items in a cycle scores them all
+        # against the same packed candidate arrays
+        self._pool_tag: int = -1
+        self._pool_view: View | None = None
+        self._pool_entries: list[ViewEntry] = []
+        self._pool_profiles: list = []
+        self._pool_binary: bool = False
+        self._pool: PackedPool | None = None
+
+    def _view_pool(self, rps_view: View) -> list[ViewEntry]:
+        """Refresh the memoised pool state for the current view generation."""
+        tag = rps_view.mutation_count
+        if self._pool_view is not rps_view or tag != self._pool_tag:
+            entries = rps_view.entries()
+            self._pool_entries = entries
+            self._pool_profiles = [e.profile for e in entries]
+            self._pool_binary = all(
+                getattr(p, "is_binary", False) for p in self._pool_profiles
+            )
+            self._pool = None  # packed arrays rebuilt lazily (large pools)
+            self._pool_tag = tag
+            self._pool_view = rps_view
+        return self._pool_entries
 
     # -- target selection --------------------------------------------------
 
@@ -87,20 +145,67 @@ class BeepForwarder:
         systematically starve fresh nodes whose profiles still score zero
         against every item profile.
         """
-        entries = rps_view.entries()
-        if not entries:
+        if len(rps_view) == 0:
             return []
-        k = min(self.config.f_dislike, len(entries))
+        k = min(self.config.f_dislike, len(rps_view))
         if k == 0:
             return []
         item_profile = copy.profile
-        metric = self.metric
+        batch = self.metric_name is not None and batch_scoring_enabled()
+        if batch:
+            # one pass over the memoised pool: the item profile is the
+            # candidate side ("c") of the asymmetric metric, the RPS peers
+            # the choosers.  Scores come out in stable view order; the
+            # scalar path below scores the same order, so both paths pick
+            # identical targets from identical rng draws.  Small pools use
+            # the specialised set-algebra loop; large ones the numpy
+            # kernel over packed arrays (amortised per view generation).
+            entries = self._view_pool(rps_view)
+            large = len(entries) >= VECTOR_MIN_PAIRS
+            if (
+                self.metric_name == "wup"
+                and self._pool_binary
+                and not getattr(item_profile, "is_binary", False)
+                and not large
+            ):
+                scores = wup_pool_vs_item(self._pool_profiles, item_profile)
+            else:
+                if self._pool is None:
+                    self._pool = PackedPool(self._pool_profiles)
+                scores = self._pool.score(
+                    pack_profile(item_profile), self.metric_name, "c"
+                )
+        else:
+            entries = rps_view.entries()
+            metric = self.metric
+            scores = [metric(e.profile, item_profile) for e in entries]
+        if k == 1:
+            # the paper's operating point: a single argmax with a uniform
+            # draw among exact ties (fresh all-zero profiles stay reachable)
+            if isinstance(scores, np.ndarray):
+                tied = np.flatnonzero(scores == scores.max())
+                pick = (
+                    int(tied[0])
+                    if tied.size == 1
+                    else int(tied[int(self.rng.integers(tied.size))])
+                )
+            else:
+                best = max(scores)
+                tied = [i for i, s in enumerate(scores) if s == best]
+                pick = (
+                    tied[0]
+                    if len(tied) == 1
+                    else tied[int(self.rng.integers(len(tied)))]
+                )
+            return [entries[pick].node_id]
+        # ablation fanouts (f_dislike > 1): shuffle for the random
+        # tie-break, then take the stable top-k
         order = self.rng.permutation(len(entries))
-        shuffled = [entries[int(i)] for i in order]
-        scored = sorted(
-            shuffled, key=lambda e: -metric(e.profile, item_profile)
+        shuffled_scores = [scores[int(i)] for i in order]
+        top = heapq.nlargest(
+            k, range(len(order)), key=lambda i: (shuffled_scores[i], -i)
         )
-        return [e.node_id for e in scored[:k]]
+        return [entries[int(order[i])].node_id for i in top]
 
     # -- the forwarding rule -------------------------------------------------
 

@@ -32,10 +32,26 @@ def popular_items_in_views(node: WhatsUpNode, k: int | None = 3) -> list[int]:
 
     Ties break towards lower item id for determinism.  ``k=None`` returns
     the full popularity ranking.
+
+    Frozen view profiles expose packed sorted like-id arrays, so the
+    popularity count is one ``np.unique`` over their concatenation; profiles
+    without packed arrays fall back to a Counter sweep.
     """
+    profiles = [entry.profile for entry in node.rps.view.entries()]
+    arrays = [
+        p.liked_ids for p in profiles if getattr(p, "liked_ids", None) is not None
+    ]
+    if len(arrays) == len(profiles):
+        arrays = [a for a in arrays if a.size]
+        if not arrays:
+            return []
+        ids, counts = np.unique(np.concatenate(arrays), return_counts=True)
+        order = np.lexsort((ids, -counts))
+        items = [int(i) for i in ids[order]]
+        return items if k is None else items[:k]
     counts: Counter[int] = Counter()
-    for entry in node.rps.view.entries():
-        for iid in entry.profile.liked:
+    for profile in profiles:
+        for iid in profile.liked:
             counts[iid] += 1
     ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
     items = [iid for iid, _ in ranked]

@@ -17,7 +17,7 @@ Two classes model this:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.profiles import ItemProfile
 from repro.utils.hashing import item_digest
@@ -88,9 +88,12 @@ class NewsItem:
         )
 
 
-@dataclass
 class ItemCopy:
     """One copy of a news item in flight.
+
+    A plain slotted class (not a dataclass): one instance is created per
+    BEEP transmission, which makes construction cost part of the
+    simulation's innermost loop.
 
     Attributes
     ----------
@@ -105,24 +108,40 @@ class ItemCopy:
         the paper's wire format — we track it for the Figure 6 analysis.
     """
 
-    item: NewsItem
-    profile: ItemProfile = field(default_factory=ItemProfile)
-    dislikes: int = 0
-    hops: int = 0
+    __slots__ = ("item", "profile", "dislikes", "hops")
+
+    def __init__(
+        self,
+        item: NewsItem,
+        profile: ItemProfile | None = None,
+        dislikes: int = 0,
+        hops: int = 0,
+    ) -> None:
+        self.item = item
+        self.profile = profile if profile is not None else ItemProfile()
+        self.dislikes = dislikes
+        self.hops = hops
 
     def clone_for_forward(self) -> "ItemCopy":
         """Clone this copy for transmission to one more target.
 
-        The clone's profile is an independent deep copy (divergent paths →
-        divergent profiles) and its hop count is one greater.
+        The clone's profile is a logically independent copy (copy-on-write:
+        divergent paths materialise divergent profiles on first mutation)
+        and its hop count is one greater.
         """
         return ItemCopy(
-            item=self.item,
-            profile=self.profile.copy(),
-            dislikes=self.dislikes,
-            hops=self.hops + 1,
+            self.item,
+            self.profile.copy(),
+            self.dislikes,
+            self.hops + 1,
         )
 
     def wire_size(self) -> int:
         """Modelled serialized size in bytes (header + item profile)."""
         return ITEM_HEADER_BYTES + PROFILE_ENTRY_BYTES * len(self.profile)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ItemCopy(item={self.item.item_id:#x}, n={len(self.profile)}, "
+            f"dislikes={self.dislikes}, hops={self.hops})"
+        )

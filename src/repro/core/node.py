@@ -26,7 +26,6 @@ from repro.core.beep import BeepForwarder
 from repro.core.config import WhatsUpConfig
 from repro.core.news import ItemCopy, NewsItem
 from repro.core.profiles import ItemProfile, UserProfile
-from repro.core.similarity import get_metric
 from repro.gossip.rps import RpsProtocol
 from repro.gossip.vicinity import ClusteringProtocol
 from repro.network.message import MessageKind
@@ -72,7 +71,9 @@ class WhatsUpNode(BaseNode):
         self.config = config
         self.opinion = opinion
         self.profile = UserProfile()
-        metric = get_metric(config.similarity)
+        # passing the *registry name* keeps the WUP merge and BEEP
+        # orientation on the vectorised batch kernel + shared score cache
+        metric = config.similarity
         self.rps = RpsProtocol(
             node_id,
             config.rps_view_size,

@@ -22,20 +22,62 @@ run time, so profiles maintain, incrementally:
 * ``liked`` — the set of identifiers with a strictly positive score (for a
   binary profile, exactly the liked items);
 * ``norm`` — the Euclidean norm of the score vector, cached and invalidated
-  on mutation.
+  on mutation;
+* ``_min_ts`` — a lower bound on the oldest entry timestamp, so the
+  per-receipt window purge can skip the full scan when nothing can be stale.
 
 User profiles additionally expose :meth:`UserProfile.snapshot`, a cheap
 immutable copy (memoised per mutation-version) that gossip messages carry,
 mirroring the profile field of view entries in the paper's protocols.
+
+:class:`FrozenProfile` snapshots carry two batching hooks for the vectorised
+similarity kernel (:func:`repro.core.similarity.score_candidates`):
+
+* packed sorted ``uint64`` id arrays (``liked_ids`` / ``rated_ids``) and the
+  aligned ``rated_scores`` vector, computed lazily on first access and then
+  reused for every batch scoring pass the snapshot participates in;
+* a process-unique ``uid`` assigned at construction.  Because snapshots are
+  memoised per mutation version, ``uid`` identifies one *(profile, version)*
+  state: any ``set``/``remove``/``purge_older_than`` bumps the version, the
+  next snapshot gets a fresh ``uid``, and every score cached under the old
+  ``uid`` becomes unreachable — version-keyed cache invalidation for free.
+
+Item-copy profiles are cloned on every BEEP forward; :meth:`ItemProfile.copy`
+is copy-on-write (the clone shares the backing dicts until its first
+mutation), which skips the dict copies entirely for the common
+receive-dislike-forward path that never edits the profile.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
 from collections.abc import Iterable, Iterator
 from typing import NamedTuple
 
+import numpy as np
+
 __all__ = ["ProfileEntry", "Profile", "UserProfile", "ItemProfile", "FrozenProfile"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def pack_id_array(ids: Iterable[int], count: int) -> np.ndarray:
+    """Pack item identifiers into a ``uint64`` array (unsorted).
+
+    Identifiers are 8-byte digests in ``[0, 2**64)``
+    (:func:`repro.utils.hashing.item_digest`); any out-of-range integer
+    (e.g. a negative id in a synthetic test) is mapped through a 64-bit
+    mask — an injective, consistent encoding, which is all the batch
+    intersection kernel needs.  *ids* must be re-iterable (a dict view or
+    sequence), as the masked fallback iterates a second time.
+    """
+    try:
+        return np.fromiter(ids, dtype=np.uint64, count=count)
+    except (OverflowError, ValueError, TypeError):
+        return np.fromiter(
+            ((iid & _MASK64) for iid in ids), dtype=np.uint64, count=count
+        )
 
 
 class ProfileEntry(NamedTuple):
@@ -53,7 +95,15 @@ class Profile:
     :class:`ItemProfile`; it is rarely instantiated directly.
     """
 
-    __slots__ = ("_scores", "_timestamps", "_liked", "_norm2", "_version")
+    __slots__ = (
+        "_scores",
+        "_timestamps",
+        "_liked",
+        "_norm2",
+        "_version",
+        "_min_ts",
+        "_shared",
+    )
 
     #: Whether scores are guaranteed binary (0/1).  Similarity metrics use
     #: this to select a set-algebra fast path.
@@ -65,10 +115,19 @@ class Profile:
         self._liked: set[int] = set()
         self._norm2: float = 0.0
         self._version: int = 0
+        self._min_ts: float = math.inf
+        self._shared: bool = False
         for entry in entries:
             self.set(entry.item_id, entry.timestamp, entry.score)
 
     # -- mutation ---------------------------------------------------------
+
+    def _detach(self) -> None:
+        """Materialise private containers (copy-on-write support)."""
+        self._scores = dict(self._scores)
+        self._timestamps = dict(self._timestamps)
+        self._liked = set(self._liked)
+        self._shared = False
 
     def set(self, item_id: int, timestamp: int, score: float) -> None:
         """Insert or replace the entry for *item_id*.
@@ -76,6 +135,8 @@ class Profile:
         A profile holds a single entry per identifier (Section II-B); setting
         an existing identifier overwrites its timestamp and score.
         """
+        if self._shared:
+            self._detach()
         old = self._scores.get(item_id)
         if old is not None:
             self._norm2 -= old * old
@@ -86,10 +147,14 @@ class Profile:
         self._norm2 += score * score
         if score > 0.0:
             self._liked.add(item_id)
+        if timestamp < self._min_ts:
+            self._min_ts = timestamp
         self._version += 1
 
     def remove(self, item_id: int) -> None:
         """Drop the entry for *item_id* (no-op if absent)."""
+        if self._shared:
+            self._detach()
         old = self._scores.pop(item_id, None)
         if old is None:
             return
@@ -113,17 +178,33 @@ class Profile:
         int
             The number of entries removed.
         """
+        if cutoff <= self._min_ts:
+            # every entry is provably >= cutoff: skip the scan entirely
+            return 0
         stale = [iid for iid, ts in self._timestamps.items() if ts < cutoff]
         for iid in stale:
             self.remove(iid)
+        if stale:
+            self._min_ts = min(self._timestamps.values(), default=math.inf)
+        else:
+            # nothing was below cutoff after all: tighten the lower bound
+            self._min_ts = cutoff
         return len(stale)
 
     def clear(self) -> None:
         """Drop every entry."""
-        self._scores.clear()
-        self._timestamps.clear()
-        self._liked.clear()
+        if self._shared:
+            # co-owners keep the old containers; this profile starts fresh
+            self._scores = {}
+            self._timestamps = {}
+            self._liked = set()
+            self._shared = False
+        else:
+            self._scores.clear()
+            self._timestamps.clear()
+            self._liked.clear()
         self._norm2 = 0.0
+        self._min_ts = math.inf
         self._version += 1
 
     # -- queries ----------------------------------------------------------
@@ -178,11 +259,43 @@ class FrozenProfile:
     Simulated messages carry :class:`FrozenProfile` objects: they preserve
     the profile's state at send time even if the owner keeps rating items,
     and they precompute the sets and norm the similarity metrics need.
+
+    For the batch similarity kernel the snapshot additionally exposes
+
+    * :attr:`liked_ids` / :attr:`rated_ids` — sorted ``uint64`` arrays of the
+      liked / rated identifiers, and :attr:`rated_scores` — the ``float64``
+      score vector aligned with ``rated_ids``.  All three are computed
+      lazily on first access and memoised (snapshots are immutable);
+    * :attr:`uid` — a process-unique integer identifying this snapshot, and
+      :attr:`version` — the source profile's mutation version.  Together
+      with per-version snapshot memoisation, ``uid`` is a version-keyed
+      cache key: a profile mutation produces a new snapshot with a new
+      ``uid``, so scores cached against the old one can never be reused.
     """
 
-    __slots__ = ("scores", "liked", "rated", "norm", "is_binary")
+    __slots__ = (
+        "scores",
+        "liked",
+        "rated",
+        "norm",
+        "is_binary",
+        "uid",
+        "version",
+        "_liked_ids",
+        "_rated_ids",
+        "_rated_scores",
+        "wire_cache",
+    )
 
-    def __init__(self, scores: dict[int, float], *, is_binary: bool) -> None:
+    _uid_counter = itertools.count(1)
+
+    def __init__(
+        self,
+        scores: dict[int, float],
+        *,
+        is_binary: bool,
+        version: int = 0,
+    ) -> None:
         self.scores: dict[int, float] = dict(scores)
         self.liked: frozenset[int] = frozenset(
             iid for iid, s in scores.items() if s > 0.0
@@ -193,6 +306,46 @@ class FrozenProfile:
             norm2 += s * s
         self.norm: float = math.sqrt(norm2) if norm2 > 0.0 else 0.0
         self.is_binary: bool = is_binary
+        self.uid: int = next(FrozenProfile._uid_counter)
+        self.version: int = version
+        self._liked_ids: np.ndarray | None = None
+        self._rated_ids: np.ndarray | None = None
+        self._rated_scores: np.ndarray | None = None
+        #: memo slot for the modelled wire size of descriptors carrying
+        #: this snapshot (filled by repro.gossip.views.descriptor_wire_size)
+        self.wire_cache: int | None = None
+
+    def _pack(self) -> None:
+        n = len(self.scores)
+        ids = pack_id_array(self.scores.keys(), n)
+        vals = np.fromiter(self.scores.values(), dtype=np.float64, count=n)
+        order = np.argsort(ids)
+        ids = ids[order]
+        vals = vals[order]
+        self._rated_ids = ids
+        self._rated_scores = vals
+        self._liked_ids = ids[vals > 0.0]
+
+    @property
+    def liked_ids(self) -> np.ndarray:
+        """Sorted ``uint64`` array of identifiers with positive score."""
+        if self._liked_ids is None:
+            self._pack()
+        return self._liked_ids
+
+    @property
+    def rated_ids(self) -> np.ndarray:
+        """Sorted ``uint64`` array of all rated identifiers."""
+        if self._rated_ids is None:
+            self._pack()
+        return self._rated_ids
+
+    @property
+    def rated_scores(self) -> np.ndarray:
+        """``float64`` scores aligned with :attr:`rated_ids`."""
+        if self._rated_scores is None:
+            self._pack()
+        return self._rated_scores
 
     def __len__(self) -> int:
         return len(self.scores)
@@ -240,7 +393,9 @@ class UserProfile(Profile):
     def snapshot(self) -> FrozenProfile:
         """Return an immutable snapshot (memoised per mutation version)."""
         if self._snapshot is None or self._snapshot_version != self._version:
-            self._snapshot = FrozenProfile(self._scores, is_binary=True)
+            self._snapshot = FrozenProfile(
+                self._scores, is_binary=True, version=self._version
+            )
             self._snapshot_version = self._version
         return self._snapshot
 
@@ -262,30 +417,68 @@ class ItemProfile(Profile):
         15-16) with ``addToNewsProfile`` (lines 18-22): for each tuple of the
         user profile, average with the existing score when the identifier is
         already present, otherwise insert the user's tuple.
+
+        This runs once per like along every dissemination path, so the loop
+        updates the backing containers directly instead of going through
+        :meth:`set` — same arithmetic, an order of magnitude fewer calls.
         """
-        for iid, s_n in user_profile.scores.items():
-            ts = user_profile.timestamp_of(iid)
-            existing = self._scores.get(iid)
+        if self._shared:
+            self._detach()
+        scores = self._scores
+        timestamps = self._timestamps
+        liked = self._liked
+        norm2 = self._norm2
+        min_ts = self._min_ts
+        user_ts = user_profile._timestamps
+        for iid, s_n in user_profile._scores.items():
+            ts = user_ts[iid]
+            existing = scores.get(iid)
             if existing is not None:
                 # average, keeping the freshest timestamp so the entry ages
                 # from its latest sighting
-                old_ts = self._timestamps[iid]
-                new_ts = ts if ts is not None and ts > old_ts else old_ts
-                self.set(iid, new_ts, (existing + s_n) / 2.0)
+                if ts > timestamps[iid]:
+                    timestamps[iid] = ts
+                new = (existing + s_n) / 2.0
+                norm2 -= existing * existing
+                norm2 += new * new
+                scores[iid] = new
+                if new > 0.0:
+                    liked.add(iid)
+                elif existing > 0.0:
+                    liked.discard(iid)
             else:
-                assert ts is not None
-                self.set(iid, ts, s_n)
+                scores[iid] = s_n
+                timestamps[iid] = ts
+                norm2 += s_n * s_n
+                if s_n > 0.0:
+                    liked.add(iid)
+                if ts < min_ts:
+                    min_ts = ts
+        if norm2 < 0.0:  # float drift guard
+            norm2 = 0.0
+        self._norm2 = norm2
+        self._min_ts = min_ts
+        self._version += 1
 
     def copy(self) -> "ItemProfile":
-        """Deep-copy the profile (a forwarded copy evolves independently)."""
-        clone = ItemProfile()
-        clone._scores = dict(self._scores)
-        clone._timestamps = dict(self._timestamps)
-        clone._liked = set(self._liked)
+        """Logically deep-copy the profile (copy-on-write).
+
+        A forwarded copy evolves independently, but most copies are never
+        mutated again (a disliking receiver neither integrates nor, usually,
+        purges anything), so the clone *shares* the backing containers and
+        both sides materialise private copies only on their first mutation.
+        """
+        clone = ItemProfile.__new__(ItemProfile)
+        self._shared = True
+        clone._scores = self._scores
+        clone._timestamps = self._timestamps
+        clone._liked = self._liked
         clone._norm2 = self._norm2
         clone._version = 0
+        clone._min_ts = self._min_ts
+        clone._shared = True
         return clone
 
     def freeze(self) -> FrozenProfile:
         """Immutable snapshot (used by similarity-ranking code paths)."""
-        return FrozenProfile(self._scores, is_binary=False)
+        return FrozenProfile(self._scores, is_binary=False, version=self._version)

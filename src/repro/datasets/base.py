@@ -163,11 +163,13 @@ class OpinionOracle:
     __slots__ = ("_likes", "_index_of")
 
     def __init__(self, dataset: Dataset) -> None:
-        self._likes = dataset.likes
+        # plain nested lists: one oracle call per first receipt is a hot
+        # path, and Python list indexing beats numpy scalar indexing there
+        self._likes = np.asarray(dataset.likes, dtype=bool).tolist()
         self._index_of = {
             item.item_id: idx for idx, item in enumerate(dataset.items)
         }
 
     def __call__(self, node_id: int, item: NewsItem) -> bool:
         """Whether *node_id* likes *item* (ground truth)."""
-        return bool(self._likes[node_id, self._index_of[item.item_id]])
+        return self._likes[node_id][self._index_of[item.item_id]]

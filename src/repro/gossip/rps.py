@@ -57,7 +57,7 @@ class RpsMessage:
 
     def wire_size(self) -> int:
         """Modelled serialized size in bytes (entries + 1-byte flag)."""
-        return 1 + sum(descriptor_wire_size(e) for e in self.entries)
+        return 1 + sum([descriptor_wire_size(e) for e in self.entries])
 
 
 class RpsProtocol:
@@ -155,7 +155,9 @@ class RpsProtocol:
         half = len(self.view) // 2
         if half > 0 and candidates:
             k = min(half, len(candidates))
-            idx = self.rng.choice(len(candidates), size=k, replace=False)
+            # a permutation prefix is a uniform sample without replacement
+            # and draws measurably faster than Generator.choice
+            idx = self.rng.permutation(len(candidates))[:k]
             shipped = [candidates[int(i)] for i in idx]
         else:
             shipped = []

@@ -26,7 +26,15 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.core.similarity import MetricFn
+from repro.core.similarity import (
+    MetricFn,
+    ScoreCache,
+    batch_scoring_enabled,
+    default_score_cache,
+    get_metric,
+    metric_name_of,
+    score_candidates,
+)
 from repro.gossip.views import View, ViewEntry, descriptor_wire_size
 
 __all__ = ["ClusteringMessage", "ClusteringProtocol"]
@@ -42,7 +50,7 @@ class ClusteringMessage:
 
     def wire_size(self) -> int:
         """Modelled serialized size in bytes (entries + 1-byte flag)."""
-        return 1 + sum(descriptor_wire_size(e) for e in self.entries)
+        return 1 + sum([descriptor_wire_size(e) for e in self.entries])
 
 
 class ClusteringProtocol:
@@ -57,33 +65,42 @@ class ClusteringProtocol:
         like-fanout — Table II).
     metric:
         Similarity function ``metric(own_profile, candidate_profile)`` used
-        to rank candidates.
+        to rank candidates, or a registered metric name.  Registered metrics
+        are scored through the vectorised batch kernel
+        (:func:`repro.core.similarity.score_candidates`); unregistered
+        callables fall back to per-candidate scalar calls.
     rng:
         Dedicated random generator (used only for deterministic tie-breaks
         through shuffling when scores tie exactly).
     address:
         Modelled network address used in descriptors.
+    cache:
+        Score cache for the batch path; defaults to the process-wide shared
+        cache (:func:`repro.core.similarity.default_score_cache`).
     """
 
-    __slots__ = ("node_id", "view", "metric", "rng", "address")
+    __slots__ = ("node_id", "view", "metric", "metric_name", "rng", "address", "cache")
 
     def __init__(
         self,
         node_id: int,
         view_size: int,
-        metric: MetricFn,
+        metric: MetricFn | str,
         rng: np.random.Generator,
         address: str | None = None,
+        cache: ScoreCache | None = None,
     ) -> None:
         self.node_id = node_id
         self.view = View(view_size, owner_id=node_id)
-        self.metric = metric
+        self.metric_name = metric_name_of(metric)
+        self.metric = get_metric(metric) if isinstance(metric, str) else metric
         self.rng = rng
         self.address = (
             address
             if address is not None
             else f"10.0.{node_id >> 8 & 255}.{node_id & 255}"
         )
+        self.cache = cache if cache is not None else default_score_cache()
 
     def descriptor(self, profile, now: int) -> ViewEntry:
         """Build this node's own fresh descriptor."""
@@ -162,12 +179,29 @@ class ClusteringProtocol:
         """Union own view + received + RPS candidates; keep the closest.
 
         Candidate scores use ``metric(own_profile, candidate_profile)`` —
-        the owner is the "chooser" ``n`` of the asymmetric metric.
+        the owner is the "chooser" ``n`` of the asymmetric metric.  When the
+        metric is registered, the whole pool is scored in one vectorised
+        pass and unchanged ``(owner version, candidate version)`` pairs are
+        served from the score cache; the scalar per-candidate path produces
+        bitwise-identical rankings.
         """
-        self.view.upsert_all(received)
-        self.view.upsert_all(rps_entries)
-        metric = self.metric
-        self.view.trim_ranked(lambda e: metric(profile, e.profile))
+        view = self.view
+        view.upsert_all(received)
+        view.upsert_all(rps_entries)
+        if len(view) <= view.capacity:
+            return  # nothing to evict: skip scoring entirely
+        if self.metric_name is not None and batch_scoring_enabled():
+            entries = view.entries()
+            scores = score_candidates(
+                profile,
+                [e.profile for e in entries],
+                self.metric_name,
+                cache=self.cache,
+            )
+            view.trim_ranked_aligned(entries, scores)
+        else:
+            metric = self.metric
+            view.trim_ranked(lambda e: metric(profile, e.profile))
 
     def refresh(self, profile, rps_entries: Iterable[ViewEntry]) -> None:
         """Re-rank the view against *profile* using only RPS candidates.

@@ -17,8 +17,9 @@ dead peers.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, replace
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -42,13 +43,25 @@ _PROFILE_DIGEST_BYTES_PER_ENTRY = 1.25
 
 
 def descriptor_wire_size(entry: "ViewEntry") -> int:
-    """Modelled serialized size of one view entry, in bytes."""
-    import math
+    """Modelled serialized size of one view entry, in bytes.
 
-    digest = _PROFILE_DIGEST_HEADER_BYTES + math.ceil(
-        _PROFILE_DIGEST_BYTES_PER_ENTRY * len(entry.profile)
-    )
-    return _ENTRY_FIXED_BYTES + digest
+    The size depends only on the (immutable) profile snapshot, so it is
+    memoised on the snapshot — descriptors are re-shipped every cycle but
+    re-measured once.  ``ceil(1.25 * n)`` is computed in integer arithmetic.
+    """
+    profile = entry.profile
+    size = getattr(profile, "wire_cache", None)
+    if size is None:
+        size = (
+            _ENTRY_FIXED_BYTES
+            + _PROFILE_DIGEST_HEADER_BYTES
+            + (5 * len(profile) + 3) // 4
+        )
+        try:
+            profile.wire_cache = size
+        except AttributeError:
+            pass  # mutable / foreign profile-likes: recompute per call
+    return size
 
 
 @dataclass(frozen=True)
@@ -90,7 +103,7 @@ class View:
         (a node does not keep itself in its own view).
     """
 
-    __slots__ = ("capacity", "owner_id", "_entries")
+    __slots__ = ("capacity", "owner_id", "_entries", "_mutations")
 
     def __init__(self, capacity: int, owner_id: int) -> None:
         if capacity <= 0:
@@ -98,6 +111,7 @@ class View:
         self.capacity = int(capacity)
         self.owner_id = int(owner_id)
         self._entries: dict[int, ViewEntry] = {}
+        self._mutations: int = 0
 
     # -- queries ----------------------------------------------------------
 
@@ -122,15 +136,30 @@ class View:
         """The entry for *node_id*, or ``None``."""
         return self._entries.get(node_id)
 
+    @property
+    def mutation_count(self) -> int:
+        """Counter bumped on every content change (cache invalidation tag)."""
+        return self._mutations
+
     def oldest(self) -> ViewEntry | None:
         """The entry with the smallest timestamp (gossip target selection).
 
         Ties are broken by node id so behaviour is deterministic under a
         fixed seed.
         """
-        if not self._entries:
-            return None
-        return min(self._entries.values(), key=lambda e: (e.timestamp, e.node_id))
+        best = None
+        best_ts = best_id = 0
+        for e in self._entries.values():
+            ts = e.timestamp
+            if (
+                best is None
+                or ts < best_ts
+                or (ts == best_ts and e.node_id < best_id)
+            ):
+                best = e
+                best_ts = ts
+                best_id = e.node_id
+        return best
 
     def is_full(self) -> bool:
         return len(self._entries) >= self.capacity
@@ -148,15 +177,29 @@ class View:
         current = self._entries.get(entry.node_id)
         if current is None or entry.timestamp >= current.timestamp:
             self._entries[entry.node_id] = entry
+            self._mutations += 1
 
     def upsert_all(self, entries: Iterable[ViewEntry]) -> None:
-        """Bulk :meth:`upsert`."""
+        """Bulk :meth:`upsert` (inlined: this runs per merged descriptor)."""
+        stored = self._entries
+        owner = self.owner_id
+        get = stored.get
+        changed = 0
         for entry in entries:
-            self.upsert(entry)
+            nid = entry.node_id
+            if nid == owner:
+                continue
+            current = get(nid)
+            if current is None or entry.timestamp >= current.timestamp:
+                stored[nid] = entry
+                changed += 1
+        if changed:
+            self._mutations += changed
 
     def remove(self, node_id: int) -> None:
         """Drop the entry for *node_id* (no-op if absent)."""
-        self._entries.pop(node_id, None)
+        if self._entries.pop(node_id, None) is not None:
+            self._mutations += 1
 
     def evict_older_than(self, cutoff: int) -> int:
         """Drop entries with ``timestamp < cutoff`` (churn healing).
@@ -166,6 +209,8 @@ class View:
         stale = [nid for nid, e in self._entries.items() if e.timestamp < cutoff]
         for nid in stale:
             del self._entries[nid]
+        if stale:
+            self._mutations += 1
         return len(stale)
 
     def trim_random(self, rng: np.random.Generator) -> None:
@@ -179,32 +224,94 @@ class View:
         if excess <= 0:
             return
         ids = list(self._entries.keys())
-        drop = rng.choice(len(ids), size=excess, replace=False)
+        # permutation prefix = uniform sample without replacement, cheaper
+        # than Generator.choice for the small sizes views work at
+        drop = rng.permutation(len(ids))[:excess]
         for idx in drop:
             del self._entries[ids[int(idx)]]
+        self._mutations += 1
 
-    def trim_ranked(self, key) -> None:
-        """Shrink to capacity keeping the entries with the **highest** *key*.
+    def trim_ranked(
+        self,
+        key: "Callable[[ViewEntry], float] | None" = None,
+        *,
+        scores: "Mapping[int, float] | None" = None,
+        default: float = 0.0,
+    ) -> None:
+        """Shrink to capacity keeping the entries with the **highest** score.
 
         This is the clustering merge rule: keep the candidates whose profiles
-        are closest to the owner's.  *key* maps a :class:`ViewEntry` to a
-        sortable score; ties are broken by descriptor freshness then node id
-        for determinism.
+        are closest to the owner's.  Ties are broken by descriptor freshness
+        then node id for determinism.
+
+        Parameters
+        ----------
+        key:
+            Maps a :class:`ViewEntry` to a sortable score (scalar path).
+        scores:
+            Precomputed ``node_id -> score`` mapping (batch path); entries
+            missing from the mapping score *default*.  Exactly one of *key*
+            and *scores* must be given.
+
+        Only the top ``capacity`` entries are selected (``heapq.nlargest``),
+        avoiding a full sort of the merge's candidate pool.
         """
+        if (key is None) == (scores is None):
+            raise ConfigurationError(
+                "trim_ranked needs exactly one of `key` and `scores`"
+            )
         if len(self._entries) <= self.capacity:
             return
-        ranked = sorted(
-            self._entries.values(),
-            key=lambda e: (-key(e), -e.timestamp, e.node_id),
+        if scores is not None:
+            # delegate to the aligned fast path — one ranking implementation
+            get = scores.get
+            entries = list(self._entries.values())
+            self.trim_ranked_aligned(
+                entries, [get(e.node_id, default) for e in entries]
+            )
+            return
+
+        def rank(e: ViewEntry):
+            return (key(e), e.timestamp, -e.node_id)
+
+        keep = heapq.nlargest(self.capacity, self._entries.values(), key=rank)
+        self._entries = {e.node_id: e for e in keep}
+        self._mutations += 1
+
+    def trim_ranked_aligned(
+        self, entries: "list[ViewEntry]", scores: "list[float]"
+    ) -> None:
+        """Ranked trim from scores aligned with an :meth:`entries` snapshot.
+
+        The fast path behind :meth:`trim_ranked`'s mapping form: *entries*
+        must be the snapshot the caller just scored (``self.entries()``
+        taken after its last mutation) and *scores* its aligned scores.
+        One pass builds ``(score, timestamp, -node_id, index)`` rows and a
+        C-level tuple sort selects the top ``capacity`` — the same total
+        order as :meth:`trim_ranked` without a key call per candidate.
+        """
+        k = len(entries)
+        if k <= self.capacity:
+            return
+        rows = sorted(
+            (
+                (scores[i], e.timestamp, -e.node_id, i)
+                for i, e in enumerate(entries)
+            ),
+            reverse=True,
         )
-        self._entries = {e.node_id: e for e in ranked[: self.capacity]}
+        self._entries = {
+            entries[row[3]].node_id: entries[row[3]]
+            for row in rows[: self.capacity]
+        }
+        self._mutations += 1
 
     def sample(self, k: int, rng: np.random.Generator) -> list[ViewEntry]:
         """Uniform sample (without replacement) of ``min(k, len)`` entries."""
         entries = list(self._entries.values())
         if k >= len(entries):
             return entries
-        idx = rng.choice(len(entries), size=k, replace=False)
+        idx = rng.permutation(len(entries))[:k]
         return [entries[int(i)] for i in idx]
 
     def wire_size(self) -> int:

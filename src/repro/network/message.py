@@ -10,7 +10,7 @@ split (BEEP dominates, WUP stays near-constant).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from typing import NamedTuple
 
 __all__ = ["MessageKind", "Envelope"]
 
@@ -25,10 +25,14 @@ class MessageKind(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    # members are singletons, so identity hashing is consistent with enum
+    # equality — and C-speed, which matters for the per-message counter
+    # dicts the traffic stats maintain
+    __hash__ = object.__hash__
 
-@dataclass(frozen=True)
-class Envelope:
-    """One unicast transmission.
+
+class Envelope(NamedTuple):
+    """One unicast transmission (a NamedTuple: cheap to build per message).
 
     Attributes
     ----------
@@ -54,4 +58,4 @@ class Envelope:
     kind: MessageKind
     payload: object
     size_bytes: int
-    via_like: bool | None = None
+    via_like: "bool | None" = None

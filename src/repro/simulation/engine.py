@@ -73,6 +73,7 @@ class CycleEngine:
             if node.node_id in self.nodes:
                 raise SimulationError(f"duplicate node id {node.node_id}")
             self.nodes[node.node_id] = node
+            node._alive_listener = self._on_alive_changed
         self.schedule = schedule
         self.transport = transport if transport is not None else PerfectTransport()
         self.streams = streams if streams is not None else RngStreams(0)
@@ -91,8 +92,16 @@ class CycleEngine:
             defaultdict(lambda: defaultdict(list))
         )
         self._observers: list[Observer] = []
+        #: running count of item copies in flight (O(1) pending queries)
+        self._pending_items: int = 0
+        #: alive-id list, maintained incrementally: invalidated by the
+        #: nodes' alive-listener hook instead of being rebuilt every cycle
+        self._alive_ids: list[int] | None = None
 
         self.transport.setup(self.nodes.keys(), self._transport_rng)
+        #: exact PerfectTransport never drops: skip the per-message
+        #: attempt() dispatch (subclasses keep the full path)
+        self._lossless = type(self.transport) is PerfectTransport
 
     # ------------------------------------------------------------------ #
     # population management                                               #
@@ -103,10 +112,19 @@ class CycleEngine:
         if node.node_id in self.nodes:
             raise SimulationError(f"duplicate node id {node.node_id}")
         self.nodes[node.node_id] = node
+        node._alive_listener = self._on_alive_changed
+        self._alive_ids = None
+
+    def _on_alive_changed(self, node_id: int, alive: bool) -> None:
+        self._alive_ids = None
 
     def alive_node_ids(self) -> list[int]:
-        """Ids of nodes currently alive."""
-        return [nid for nid, n in self.nodes.items() if n.alive]
+        """Ids of nodes currently alive (cached between liveness changes)."""
+        cached = self._alive_ids
+        if cached is None:
+            cached = [nid for nid, n in self.nodes.items() if n.alive]
+            self._alive_ids = cached
+        return list(cached)
 
     def node(self, node_id: int) -> BaseNode:
         """Look up a node by id."""
@@ -138,7 +156,10 @@ class CycleEngine:
         ok = (
             target is not None
             and target.alive
-            and self.transport.attempt(env, self._transport_rng)
+            and (
+                self._lossless
+                or self.transport.attempt(env, self._transport_rng)
+            )
         )
         self.stats.record(env, ok)
         if not ok:
@@ -152,7 +173,10 @@ class CycleEngine:
         rok = (
             sender is not None
             and sender.alive
-            and self.transport.attempt(renv, self._transport_rng)
+            and (
+                self._lossless
+                or self.transport.attempt(renv, self._transport_rng)
+            )
         )
         self.stats.record(renv, rok)
         if rok:
@@ -183,14 +207,23 @@ class CycleEngine:
         ok = (
             target is not None
             and target.alive
-            and self.transport.attempt(env, self._transport_rng)
+            and (
+                self._lossless
+                or self.transport.attempt(env, self._transport_rng)
+            )
         )
         self.stats.record(env, ok)
         if ok:
-            delay = max(1, int(self.transport.delay(env, self._transport_rng)))
+            if self._lossless:
+                delay = 1
+            else:
+                delay = max(
+                    1, int(self.transport.delay(env, self._transport_rng))
+                )
             self._future_inboxes[self.now + delay][target_id].append(
                 (sender_id, copy, via_like)
             )
+            self._pending_items += 1
 
     # ------------------------------------------------------------------ #
     # event logging (called by node implementations)                      #
@@ -260,7 +293,7 @@ class CycleEngine:
         """
         extra = 0
         while extra < max_extra:
-            if self.now > self.schedule.last_cycle and not self._future_inboxes:
+            if self.now > self.schedule.last_cycle and self._pending_items == 0:
                 break
             self._run_cycle()
             extra += 1
@@ -274,6 +307,8 @@ class CycleEngine:
 
         # messages whose delay expires this cycle become deliverable
         inbox = self._future_inboxes.pop(now, {})
+        if inbox:
+            self._pending_items -= sum(len(v) for v in inbox.values())
 
         # publications (skipped silently if the source is dead under churn)
         for item in self.schedule.items_at(now):
@@ -308,12 +343,12 @@ class CycleEngine:
     # ------------------------------------------------------------------ #
 
     def pending_item_messages(self) -> int:
-        """Item copies currently in flight (any future arrival cycle)."""
-        return sum(
-            len(copies)
-            for per_node in self._future_inboxes.values()
-            for copies in per_node.values()
-        )
+        """Item copies currently in flight (any future arrival cycle).
+
+        O(1): maintained as a running counter by ``send_item`` and the
+        cycle loop's inbox hand-over.
+        """
+        return self._pending_items
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -35,12 +35,29 @@ class BaseNode(ABC):
       :meth:`begin_cycle` when a gossip message survives the transport.
     """
 
-    __slots__ = ("node_id", "alive")
+    __slots__ = ("node_id", "_alive", "_alive_listener")
 
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
-        #: dead nodes receive nothing and take no actions (churn model)
-        self.alive = True
+        self._alive = True
+        self._alive_listener = None
+
+    @property
+    def alive(self) -> bool:
+        """Dead nodes receive nothing and take no actions (churn model)."""
+        return self._alive
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        value = bool(value)
+        if value == self._alive:
+            return
+        self._alive = value
+        # the engine hooks this to keep its alive-id cache coherent no
+        # matter who flips the flag (churn models, tests, experiments)
+        listener = self._alive_listener
+        if listener is not None:
+            listener(self.node_id, value)
 
     @abstractmethod
     def begin_cycle(self, engine: "CycleEngine", now: int) -> None:
