@@ -35,7 +35,9 @@ def test_fig4_topology(benchmark, scale):
     # metric contrast: over the upper half of the sweep (the paper's
     # separation region — single smallest-fanout points are noisy at
     # reduced scale) the WUP metric yields the better-connected overlay
-    mean = lambda xs: sum(xs) / len(xs)
+    def mean(xs):
+        return sum(xs) / len(xs)
+
     half = len(series("whatsup", "lscc")) // 2
     assert mean(series("whatsup", "lscc")[half:]) >= mean(
         series("whatsup-cos", "lscc")[half:]

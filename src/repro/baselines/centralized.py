@@ -125,7 +125,9 @@ class CentralServer:
         sims[user] = -np.inf
         return self._top_k(sims, k)
 
-    def correlated_users(self, idx: int, k: int, exclude: int | None = None) -> list[int]:
+    def correlated_users(
+        self, idx: int, k: int, exclude: int | None = None
+    ) -> list[int]:
         """The *k* users most similar to item *idx*'s profile (WUP form)."""
         domain = self._item_domain[idx] & self._visible
         if not domain.any():
@@ -273,7 +275,9 @@ class CWhatsUpNode(BaseNode):
                 engine,
             )
         elif copy.dislikes < self.server.config.beep_ttl:
-            self._deliver(copy, self.server.dislike_targets(self.node_id, item), False, engine)
+            self._deliver(
+                copy, self.server.dislike_targets(self.node_id, item), False, engine
+            )
 
     def publish(self, item: NewsItem, engine, now):
         self.seen.add(item.item_id)

@@ -44,7 +44,15 @@ __all__ = ["CfNode", "CfSystem"]
 class CfNode(BaseNode):
     """One participant of the decentralized CF baseline."""
 
-    __slots__ = ("k", "opinion", "profile", "rps", "clustering", "seen", "profile_window")
+    __slots__ = (
+        "k",
+        "opinion",
+        "profile",
+        "rps",
+        "clustering",
+        "seen",
+        "profile_window",
+    )
 
     def __init__(
         self,

@@ -17,7 +17,13 @@ from repro.core.coldstart import bootstrap_from_contact, popular_items_in_views
 from repro.core.config import WhatsUpConfig
 from repro.core.news import ItemCopy, NewsItem
 from repro.core.node import WhatsUpNode
-from repro.core.profiles import FrozenProfile, ItemProfile, Profile, ProfileEntry, UserProfile
+from repro.core.profiles import (
+    FrozenProfile,
+    ItemProfile,
+    Profile,
+    ProfileEntry,
+    UserProfile,
+)
 from repro.core.similarity import (
     available_metrics,
     cosine_similarity,

@@ -22,7 +22,7 @@ stateless apart from its RNG, so one instance per node suffices.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from repro.core.similarity import (
     get_metric,
     metric_name_of,
     pack_profile,
+    wup_items_vs_pool,
     wup_pool_vs_item,
 )
 from repro.gossip.views import View, ViewEntry
@@ -179,6 +180,16 @@ class BeepForwarder:
             entries = rps_view.entries()
             metric = self.metric
             scores = [metric(e.profile, item_profile) for e in entries]
+        return self._select_targets(entries, scores, k)
+
+    def _select_targets(
+        self, entries: list[ViewEntry], scores, k: int
+    ) -> list[int]:
+        """Pick the top-*k* node ids from aligned candidate scores.
+
+        Shared by the per-item and batched orientation paths so both make
+        identical picks (and identical RNG draws) from identical scores.
+        """
         if k == 1:
             # the paper's operating point: a single argmax with a uniform
             # draw among exact ties (fresh all-zero profiles stay reachable)
@@ -234,9 +245,100 @@ class BeepForwarder:
         if not targets:
             return 0
         for target in targets:
-            clone = copy.clone_for_forward()
-            if not liked:
-                clone.dislikes += 1  # line 26: dI <- dI + 1
+            # line 26 for the dislike path: dI <- dI + 1, folded in
+            clone = copy.clone_for_forward(0 if liked else 1)
             engine.send_item(node_id, target, clone, via_like=liked)
         engine.log_forward(node_id, copy, liked, len(targets))
         return len(targets)
+
+    def forward_batch(
+        self,
+        node_id: int,
+        fresh: "list[tuple[ItemCopy, bool]]",
+        liked_flags: list[bool],
+        wup_view: View,
+        rps_view: View,
+        engine: "CycleEngine",
+    ) -> None:
+        """Apply Algorithm 2 to a node's whole per-cycle batch of receipts.
+
+        Equivalent to calling :meth:`forward` once per ``(copy, liked)``
+        pair in order, restructured for the batched delivery path:
+
+        * every eligible *disliked* copy is scored against the memoised
+          RPS pool in one fused kernel pass
+          (:func:`~repro.core.similarity.wup_items_vs_pool`) before any
+          target is picked — scoring is pure, so hoisting it cannot move
+          an RNG draw;
+        * target selection, cloning and shipping then run per message in
+          arrival order (identical RNG consumption to the scalar path),
+          with the fan-out shipped through
+          :meth:`~repro.simulation.engine.CycleEngine.send_fanout`;
+        * forwarding actions are recorded in one bulk log append, with
+          hop counts captured before the fan-out advances the original
+          copy.
+        """
+        config = self.config
+        ttl = config.beep_ttl
+        rps_len = len(rps_view)
+        k_dislike = min(config.f_dislike, rps_len)
+
+        # pass 1 (pure): fused orientation scores for the disliked copies.
+        # Only engaged for genuinely large RPS pools — the same adaptive
+        # crossover as the scoring kernel (numpy's fixed per-call overhead
+        # loses to the memoised set-algebra loop at the paper's view size
+        # of 30, where dislike_targets already amortises its packed pool
+        # per view generation).
+        scores_for: dict[int, np.ndarray] = {}
+        if k_dislike >= 1 and rps_len >= VECTOR_MIN_PAIRS:
+            pending = [
+                copy
+                for (copy, _via), liked in zip(fresh, liked_flags)
+                if not liked and copy.dislikes < ttl
+            ]
+            if (
+                len(pending) >= 2
+                and self.metric_name == "wup"
+                and batch_scoring_enabled()
+            ):
+                self._view_pool(rps_view)
+                if self._pool_binary and not any(
+                    getattr(c.profile, "is_binary", False) for c in pending
+                ):
+                    if self._pool is None:
+                        self._pool = PackedPool(self._pool_profiles)
+                    packs = [pack_profile(c.profile) for c in pending]
+                    arrays = wup_items_vs_pool(self._pool, packs)
+                    scores_for = {
+                        id(c): s for c, s in zip(pending, arrays)
+                    }
+
+        # pass 2: selection + shipping in arrival order (scalar semantics)
+        f_items: list[int] = []
+        f_hops: list[int] = []
+        f_liked: list[bool] = []
+        f_targets: list[int] = []
+        for (copy, _via), liked in zip(fresh, liked_flags):
+            if not liked:
+                if copy.dislikes >= ttl:
+                    continue  # line 25/29: TTL reached, drop
+                scores = scores_for.get(id(copy))
+                if scores is not None:
+                    targets = self._select_targets(
+                        self._pool_entries, scores, k_dislike
+                    )
+                else:
+                    targets = self.dislike_targets(rps_view, copy)
+            else:
+                targets = self.like_targets(wup_view)
+            if not targets:
+                continue
+            f_items.append(copy.item.item_id)
+            f_hops.append(copy.hops)
+            f_liked.append(liked)
+            f_targets.append(len(targets))
+            engine.send_fanout(
+                node_id, targets, copy, via_like=liked, bump_dislikes=not liked
+            )
+        if f_items:
+            engine.log_forwards(node_id, f_items, f_hops, f_liked, f_targets)

@@ -18,7 +18,7 @@ single RPS target), exposed here as ``f_dislike`` for the ablation benches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.core.similarity import available_metrics
 from repro.utils.exceptions import ConfigurationError
@@ -133,7 +133,11 @@ class WhatsUpConfig:
         return [
             ("RPSvs", "Size of the random sample", str(self.rps_view_size)),
             ("RPSf", "Frequency of gossip in the RPS", f"{self.rps_every} cycle(s)"),
-            ("WUPvs", "Size of the social network", f"{self.effective_wup_view_size} (2·fLIKE)"),
+            (
+                "WUPvs",
+                "Size of the social network",
+                f"{self.effective_wup_view_size} (2·fLIKE)",
+            ),
             ("Profile window", "News item TTL", f"{self.profile_window} cycles"),
             ("BEEP TTL", "Dissemination TTL for dislike", str(self.beep_ttl)),
         ]

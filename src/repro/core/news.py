@@ -122,19 +122,38 @@ class ItemCopy:
         self.dislikes = dislikes
         self.hops = hops
 
-    def clone_for_forward(self) -> "ItemCopy":
+    def clone_for_forward(self, extra_dislikes: int = 0) -> "ItemCopy":
         """Clone this copy for transmission to one more target.
 
         The clone's profile is a logically independent copy (copy-on-write:
         divergent paths materialise divergent profiles on first mutation)
-        and its hop count is one greater.
+        and its hop count is one greater.  *extra_dislikes* folds BEEP's
+        dislike-counter increment (Algorithm 2 line 26) into the clone
+        instead of a separate post-construction write.
+
+        Built through ``__new__`` + direct slot writes: one clone per BEEP
+        transmission makes the ``__init__`` dispatch (and its default-
+        profile branch) measurable at paper scale.
         """
-        return ItemCopy(
-            self.item,
-            self.profile.copy(),
-            self.dislikes,
-            self.hops + 1,
-        )
+        clone = ItemCopy.__new__(ItemCopy)
+        clone.item = self.item
+        clone.profile = self.profile.copy()
+        clone.dislikes = self.dislikes + extra_dislikes
+        clone.hops = self.hops + 1
+        return clone
+
+    def advance_hop(self, extra_dislikes: int = 0) -> "ItemCopy":
+        """Turn this copy *itself* into its forwarded form (move, no clone).
+
+        The batched fan-out clones a copy for every target but one: the last
+        target can take ownership of the original — the sender never touches
+        the copy again after forwarding — so one profile clone per
+        forwarding action is skipped.  Counters advance exactly as
+        :meth:`clone_for_forward` would set them on a clone.
+        """
+        self.dislikes += extra_dislikes
+        self.hops += 1
+        return self
 
     def wire_size(self) -> int:
         """Modelled serialized size in bytes (header + item profile)."""

@@ -29,6 +29,7 @@ from repro.core.profiles import ItemProfile, UserProfile
 from repro.gossip.rps import RpsProtocol
 from repro.gossip.vicinity import ClusteringProtocol
 from repro.network.message import MessageKind
+from repro.simulation.delivery import split_first_receipts
 from repro.simulation.node import BaseNode
 from repro.utils.rng import RngStreams
 
@@ -182,6 +183,68 @@ class WhatsUpNode(BaseNode):
         # line 11: hand over to BEEP
         self.beep.forward(
             self.node_id, copy, liked, self.wup.view, self.rps.view, engine
+        )
+
+    def receive_items(
+        self,
+        deliveries: "list[tuple[int, ItemCopy, bool]]",
+        engine: "CycleEngine",
+        now: int,
+    ) -> None:
+        """Batched Algorithm 1 over this node's whole per-cycle inbox.
+
+        Same semantics as :meth:`receive_item` applied per message in
+        arrival order, restructured into bulk passes: duplicate
+        suppression in one sweep (:func:`split_first_receipts`), then
+        opinions and profile updates, then one bulk delivery-log append,
+        then BEEP's forwarding fan-out
+        (:meth:`~repro.core.beep.BeepForwarder.forward_batch`).  Profile
+        state evolves in arrival order and BEEP draws its randomness per
+        message exactly as the scalar path does, so outcomes are
+        bitwise-identical at fixed seeds.
+        """
+        fresh, duplicates = split_first_receipts(deliveries, self.seen)
+        if duplicates:
+            engine.log_duplicates(duplicates)
+        if not fresh:
+            return
+
+        profile = self.profile
+        opinion = self.opinion
+        node_id = self.node_id
+        window_start = now - self.config.profile_window
+        purge = window_start > 0
+        liked_flags: list[bool] = []
+        d_items: list[int] = []
+        d_hops: list[int] = []
+        d_dislikes: list[int] = []
+        d_via: list[bool] = []
+        for copy, via_like in fresh:
+            item = copy.item
+            liked = bool(opinion(node_id, item))
+            if liked:
+                # lines 2-5: fold the pre-update user profile into the
+                # item profile, then record the like
+                copy.profile.integrate(profile)
+            profile.record_opinion(item.item_id, item.created_at, liked)
+            # lines 8-10: purge old entries from the item profile
+            if purge:
+                copy.profile.purge_older_than(window_start)
+            liked_flags.append(liked)
+            d_items.append(item.item_id)
+            d_hops.append(copy.hops)
+            d_dislikes.append(copy.dislikes)
+            d_via.append(via_like)
+
+        # logged before forwarding: the fan-out advances the original
+        # copy's counters when it moves it to the last target
+        engine.log_deliveries(
+            node_id, d_items, d_hops, d_dislikes, liked_flags, d_via
+        )
+
+        # line 11: hand the batch to BEEP
+        self.beep.forward_batch(
+            node_id, fresh, liked_flags, self.wup.view, self.rps.view, engine
         )
 
     def publish(self, item: NewsItem, engine: "CycleEngine", now: int) -> None:

@@ -57,7 +57,14 @@ from typing import NamedTuple
 
 import numpy as np
 
-__all__ = ["ProfileEntry", "Profile", "UserProfile", "ItemProfile", "FrozenProfile"]
+__all__ = [
+    "ProfileEntry",
+    "PackedView",
+    "Profile",
+    "UserProfile",
+    "ItemProfile",
+    "FrozenProfile",
+]
 
 _MASK64 = (1 << 64) - 1
 
@@ -88,6 +95,36 @@ class ProfileEntry(NamedTuple):
     score: float
 
 
+class PackedView:
+    """Sorted packed arrays of a mutable profile at one mutation version.
+
+    The same layout the batch similarity kernel reads off
+    :class:`FrozenProfile` snapshots, for profiles that cannot be frozen
+    cheaply (live :class:`ItemProfile` copies in BEEP's orientation path).
+    ``uid`` is ``None``: there is no stable identity to cache scores under.
+
+    Instances are memoised per mutation version by :meth:`Profile.packed`
+    and *shared across copy-on-write clones* — a disliked item forwarded
+    along a chain of uninterested nodes is packed once, then re-scored
+    against each hop's RPS pool from the same arrays.
+    """
+
+    __slots__ = ("liked_ids", "rated_ids", "rated_scores", "norm", "is_binary", "uid")
+
+    def __init__(self, profile: "Profile") -> None:
+        scores = profile._scores
+        n = len(scores)
+        ids = pack_id_array(scores.keys(), n)
+        vals = np.fromiter(scores.values(), dtype=np.float64, count=n)
+        order = np.argsort(ids)
+        self.rated_ids = ids[order]
+        self.rated_scores = vals[order]
+        self.liked_ids = self.rated_ids[self.rated_scores > 0.0]
+        self.norm = profile.norm
+        self.is_binary = profile.is_binary
+        self.uid = None
+
+
 class Profile:
     """Mutable mapping from item identifier to ``(timestamp, score)``.
 
@@ -103,6 +140,7 @@ class Profile:
         "_version",
         "_min_ts",
         "_shared",
+        "_pack_memo",
     )
 
     #: Whether scores are guaranteed binary (0/1).  Similarity metrics use
@@ -117,6 +155,8 @@ class Profile:
         self._version: int = 0
         self._min_ts: float = math.inf
         self._shared: bool = False
+        #: version-keyed :class:`PackedView` memo (``(version, pack)``)
+        self._pack_memo: tuple[int, PackedView] | None = None
         for entry in entries:
             self.set(entry.item_id, entry.timestamp, entry.score)
 
@@ -228,6 +268,19 @@ class Profile:
     def version(self) -> int:
         """Mutation counter; increases on every change."""
         return self._version
+
+    def packed(self) -> PackedView:
+        """Sorted packed id/score arrays, memoised per mutation version.
+
+        Any mutation bumps :attr:`version`, making the memo unreachable —
+        the same version-keyed invalidation discipline snapshots use.
+        """
+        memo = self._pack_memo
+        if memo is not None and memo[0] == self._version:
+            return memo[1]
+        pack = PackedView(self)
+        self._pack_memo = (self._version, pack)
+        return pack
 
     def score_of(self, item_id: int) -> float | None:
         """Score for *item_id*, or ``None`` when the item is unrated."""
@@ -477,6 +530,13 @@ class ItemProfile(Profile):
         clone._version = 0
         clone._min_ts = self._min_ts
         clone._shared = True
+        # a current pack describes the shared containers verbatim, so the
+        # clone inherits it under its own version counter (packed once per
+        # dissemination path segment, not once per hop)
+        memo = self._pack_memo
+        clone._pack_memo = (
+            (0, memo[1]) if memo is not None and memo[0] == self._version else None
+        )
         return clone
 
     def freeze(self) -> FrozenProfile:

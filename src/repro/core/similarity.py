@@ -79,6 +79,7 @@ __all__ = [
     "available_metrics",
     "metric_name_of",
     "score_candidates",
+    "wup_items_vs_pool",
     "PackedPool",
     "pack_profile",
     "ScoreCache",
@@ -472,6 +473,11 @@ def _pack(profile: ProfileLike):
     if snapshot is not None:
         # user profiles: the memoised snapshot is free and cacheable
         return snapshot()
+    packed = getattr(profile, "packed", None)
+    if packed is not None:
+        # mutable profiles memoise their pack per mutation version (and
+        # share it across copy-on-write clones) — see PackedView
+        return packed()
     return _EphemeralPack(profile)
 
 
@@ -495,7 +501,9 @@ class _Concat:
 
     __slots__ = ("ids", "weights", "seg", "k")
 
-    def __init__(self, arrays: list[np.ndarray], weights: list[np.ndarray] | None) -> None:
+    def __init__(
+        self, arrays: list[np.ndarray], weights: list[np.ndarray] | None
+    ) -> None:
         k = len(arrays)
         lens = np.fromiter((a.size for a in arrays), dtype=np.int64, count=k)
         self.k = k
@@ -528,7 +536,15 @@ class PackedPool:
     is scored against the same packed pool.
     """
 
-    __slots__ = ("profiles", "k", "norms", "_liked", "_rated", "_liked_sizes", "_binary")
+    __slots__ = (
+        "profiles",
+        "k",
+        "norms",
+        "_liked",
+        "_rated",
+        "_liked_sizes",
+        "_binary",
+    )
 
     def __init__(self, profiles: list) -> None:
         self.profiles = profiles
@@ -648,7 +664,9 @@ def _batch_pool_scores(owner, pool: list, name: str, role: str) -> np.ndarray:
     return PackedPool(pool).score(owner, name, role)
 
 
-def wup_pool_binary(owner: ProfileLike, candidates: Sequence[ProfileLike]) -> list[float]:
+def wup_pool_binary(
+    owner: ProfileLike, candidates: Sequence[ProfileLike]
+) -> list[float]:
     """WUP scores of one binary owner (chooser ``n``) against a binary pool.
 
     One Python call per *pool* with hoisted locals — per-pair function-call
@@ -671,7 +689,9 @@ def wup_pool_binary(owner: ProfileLike, candidates: Sequence[ProfileLike]) -> li
     return out
 
 
-def wup_pool_vs_item(candidates: Sequence[ProfileLike], item: ProfileLike) -> list[float]:
+def wup_pool_vs_item(
+    candidates: Sequence[ProfileLike], item: ProfileLike
+) -> list[float]:
     """WUP scores of binary choosers against one real-valued item profile.
 
     BEEP's dislike orientation: each candidate is the chooser ``n``, the
@@ -695,6 +715,56 @@ def wup_pool_vs_item(candidates: Sequence[ProfileLike], item: ProfileLike) -> li
             dot += scores_c[iid]
         if dot != 0.0:
             out[i] = dot / (sqrt(len(common)) * norm_c)
+    return out
+
+
+def wup_items_vs_pool(
+    pool: PackedPool, items: Sequence
+) -> list[np.ndarray]:
+    """WUP scores of a binary chooser pool against *many* item profiles.
+
+    The fused kernel behind BEEP's batched dislike orientation: every
+    disliked item a node received this cycle is scored against the same
+    packed RPS pool in one pass per item over the pool's concatenated
+    liked-id arrays — the per-candidate Python set loop of
+    :func:`wup_pool_vs_item` disappears.
+
+    *items* are packed views (:func:`pack_profile` results) of the item
+    profiles; the pool must be all-binary.  Returns one ``float64`` array
+    per item, aligned with the pool's profiles.
+
+    Bitwise-equal to :func:`wup_pool_vs_item` and to
+    :meth:`PackedPool.score` with ``role="c"``: intersection counts are
+    exact integers and each candidate's weighted sum accumulates over its
+    liked ids in ascending order (``bincount`` adds left-to-right over the
+    per-segment sorted arrays) — a chooser's explicit dislikes contribute
+    exactly-zero terms in the rated formulation, which cannot change any
+    accumulated float.
+    """
+    liked = pool.liked
+    k = pool.k
+    ids = liked.ids
+    seg = liked.seg
+    n_ids = ids.size
+    out = []
+    for p in items:
+        scores = np.zeros(k, dtype=np.float64)
+        o_ids = p.rated_ids
+        norm_c = p.norm
+        if norm_c != 0.0 and o_ids.size and n_ids:
+            idx = np.searchsorted(o_ids, ids)
+            idx_c = np.where(idx < o_ids.size, idx, 0)
+            match = (idx < o_ids.size) & (o_ids[idx_c] == ids)
+            seg_m = seg[match]
+            dot = np.bincount(
+                seg_m, weights=p.rated_scores[idx_c[match]], minlength=k
+            )
+            common = np.bincount(seg_m, minlength=k).astype(np.float64)
+            denom = np.sqrt(common) * norm_c
+            np.divide(
+                dot, denom, out=scores, where=(dot != 0.0) & (denom > 0)
+            )
+        out.append(scores)
     return out
 
 
@@ -761,21 +831,23 @@ def score_candidates(
             return [fn(owner, c) for c in cands]
         return [fn(c, owner) for c in cands]
 
-    out = [0.0] * k
     bucket = None
     if cache is not None and len(owner.scores) >= CACHE_MIN_OWNER_ENTRIES:
         owner_f = _frozen_or_none(owner)
     else:
         owner_f = None
+    out = [0.0] * k
     if owner_f is not None:
         bucket = cache.bucket((owner_f.uid, name, owner_role))
+        bget = bucket.get
         to_score = []
+        append = to_score.append
         for i, c in enumerate(cands):
             cached = (
-                bucket.get(c.uid) if isinstance(c, FrozenProfile) else None
+                bget(c.uid) if isinstance(c, FrozenProfile) else None
             )
             if cached is None:
-                to_score.append(i)
+                append(i)
             else:
                 out[i] = cached
         cache.hits += k - len(to_score)

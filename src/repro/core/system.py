@@ -105,7 +105,9 @@ class WhatsUpSystem(SystemHarness):
         super().__init__(dataset, engine)
         if self.config.similarity != "wup":
             # paper naming: the cosine variant is "WhatsUp-Cos"
-            short = {"cosine": "cos"}.get(self.config.similarity, self.config.similarity)
+            short = {"cosine": "cos"}.get(
+                self.config.similarity, self.config.similarity
+            )
             self.system_name = f"whatsup-{short}"
 
     # ------------------------------------------------------------------ #

@@ -30,7 +30,12 @@ from repro.experiments.reporting import ExperimentReport, results_table, series_
 from repro.experiments.results import RunResult
 from repro.experiments.runner import run_one, score_system
 from repro.experiments.scale import SCALES, ScaleProfile, get_scale
-from repro.experiments.sweeps import best_result, fanout_sweep, topology_sweep, ttl_sweep
+from repro.experiments.sweeps import (
+    best_result,
+    fanout_sweep,
+    topology_sweep,
+    ttl_sweep,
+)
 
 # ablations and extensions join the registry under their own ids
 EXPERIMENTS.setdefault("ablate-window", exp_ablation_window)

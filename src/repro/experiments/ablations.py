@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.core import WhatsUpConfig
 from repro.experiments.factory import build_system
-from repro.experiments.reporting import ExperimentReport, series_table
+from repro.experiments.reporting import ExperimentReport
 from repro.experiments.runner import run_one, score_system
 from repro.experiments.scale import ScaleProfile
 from repro.metrics.graph import (

@@ -26,7 +26,13 @@ def exp_ext_churn(scale: ScaleProfile, seed: int) -> ExperimentReport:
     ds = scale.survey(seed)
     config = WhatsUpConfig(f_like=8)
     rows = []
-    for kill_rate, rejoin in ((0.0, None), (0.01, 5), (0.03, 5), (0.05, 5), (0.03, None)):
+    for kill_rate, rejoin in (
+        (0.0, None),
+        (0.01, 5),
+        (0.03, 5),
+        (0.05, 5),
+        (0.03, None),
+    ):
         churn = (
             ChurnModel(kill_rate=kill_rate, rejoin_after=rejoin, start_cycle=5)
             if kill_rate > 0
@@ -38,7 +44,10 @@ def exp_ext_churn(scale: ScaleProfile, seed: int) -> ExperimentReport:
         label = (
             "no churn"
             if churn is None
-            else f"{kill_rate:.0%}/cycle, rejoin={'never' if rejoin is None else rejoin}"
+            else (
+                f"{kill_rate:.0%}/cycle, "
+                f"rejoin={'never' if rejoin is None else rejoin}"
+            )
         )
         kills = churn.total_kills if churn else 0
         rows.append((label, kills, scores.precision, scores.recall, scores.f1))
@@ -70,7 +79,13 @@ def exp_ext_privacy(scale: ScaleProfile, seed: int) -> ExperimentReport:
         system.run()
         s = evaluate_dissemination(system.reached_matrix(), ds.likes)
         rows.append(
-            (f"obfuscation flip={flip} suppress={suppress}", s.precision, s.recall, s.f1, 1.0)
+            (
+                f"obfuscation flip={flip} suppress={suppress}",
+                s.precision,
+                s.recall,
+                s.f1,
+                1.0,
+            )
         )
 
     onion = OnionRoutedTransport(extra_hops=2)
@@ -78,7 +93,13 @@ def exp_ext_privacy(scale: ScaleProfile, seed: int) -> ExperimentReport:
     system.run()
     s = evaluate_dissemination(system.reached_matrix(), ds.likes)
     rows.append(
-        ("onion routing, 2 relays", s.precision, s.recall, s.f1, onion.bandwidth_multiplier(1024))
+        (
+            "onion routing, 2 relays",
+            s.precision,
+            s.recall,
+            s.f1,
+            onion.bandwidth_multiplier(1024),
+        )
     )
 
     text = format_table(
@@ -114,7 +135,11 @@ def exp_ext_latency(scale: ScaleProfile, seed: int) -> ExperimentReport:
         ("whatsup", "whatsup", None),
         ("cf-wup", "cf-wup", None),
         ("gossip", "gossip", None),
-        ("whatsup (slow links)", "whatsup", LatencyTransport(tail=0.5, slow_fraction=0.2)),
+        (
+            "whatsup (slow links)",
+            "whatsup",
+            LatencyTransport(tail=0.5, slow_fraction=0.2),
+        ),
     ):
         system = build_system(name, ds, fanout=8, seed=seed, transport=transport)
         system.run()
@@ -141,7 +166,10 @@ def exp_ext_latency(scale: ScaleProfile, seed: int) -> ExperimentReport:
             "F1-Score",
         ],
         rows,
-        title=f"Extension: dissemination latency in cycles (fanout=8, scale={scale.name})",
+        title=(
+            f"Extension: dissemination latency in cycles "
+            f"(fanout=8, scale={scale.name})"
+        ),
         float_fmt=".2f",
     )
     return ExperimentReport(

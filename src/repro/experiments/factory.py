@@ -22,7 +22,6 @@ fanout for homogeneous gossip.  Cascade and C-Pub/Sub have no fanout.
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from repro.baselines import (
     CascadeSystem,

@@ -19,7 +19,12 @@ from repro.experiments.factory import build_system
 from repro.experiments.reporting import ExperimentReport, results_table, series_table
 from repro.experiments.runner import run_one
 from repro.experiments.scale import ScaleProfile
-from repro.experiments.sweeps import best_result, fanout_sweep, topology_sweep, ttl_sweep
+from repro.experiments.sweeps import (
+    best_result,
+    fanout_sweep,
+    topology_sweep,
+    ttl_sweep,
+)
 from repro.metrics.bandwidth import bandwidth_breakdown
 from repro.metrics.dissemination import (
     dislike_counter_distribution,
@@ -163,7 +168,9 @@ def exp_table6(scale: ScaleProfile, seed: int) -> ExperimentReport:
         precision_rows.append(pr)
     headers = ["Fanout", *[f"loss={int(100 * l)}%" for l in loss_rates]]
     text = (
-        format_table(headers, recall_rows, title=f"Table VI — Recall (scale={scale.name})")
+        format_table(
+            headers, recall_rows, title=f"Table VI — Recall (scale={scale.name})"
+        )
         + "\n\n"
         + format_table(headers, precision_rows, title="Table VI — Precision")
     )
@@ -238,11 +245,27 @@ def exp_fig4(scale: ScaleProfile, seed: int) -> ExperimentReport:
         comp_cols[name] = [float(r["components"]) for r in sysrows]
         clus_cols[name] = [r["clustering"] for r in sysrows]
     text = (
-        series_table("fanout", list(fanouts), cols, title=f"Figure 4: LSCC fraction (scale={scale.name})")
+        series_table(
+            "fanout",
+            list(fanouts),
+            cols,
+            title=f"Figure 4: LSCC fraction (scale={scale.name})",
+        )
         + "\n\n"
-        + series_table("fanout", list(fanouts), comp_cols, title="Weakly connected components", float_fmt=".1f")
+        + series_table(
+            "fanout",
+            list(fanouts),
+            comp_cols,
+            title="Weakly connected components",
+            float_fmt=".1f",
+        )
         + "\n\n"
-        + series_table("fanout", list(fanouts), clus_cols, title="Average clustering coefficient (§V-A)")
+        + series_table(
+            "fanout",
+            list(fanouts),
+            clus_cols,
+            title="Average clustering coefficient (§V-A)",
+        )
     )
     return ExperimentReport(
         "fig4", "Size of the LSCC depending on the approach", text, {"rows": rows}
@@ -268,7 +291,11 @@ def exp_fig5(scale: ScaleProfile, seed: int) -> ExperimentReport:
         "fig5",
         "Impact of the dislike feature of BEEP",
         text,
-        {"ttls": ttls, "f1": [r.f1 for r in results], "recall": [r.recall for r in results]},
+        {
+            "ttls": ttls,
+            "f1": [r.f1 for r in results],
+            "recall": [r.recall for r in results],
+        },
     )
 
 
@@ -330,16 +357,25 @@ def exp_fig7(scale: ScaleProfile, seed: int) -> ExperimentReport:
     tr = traces["wup"]
     t0 = tr.intervention_cycle
     window = range(t0, t0 + 40, 5)
-    recv = [sum(tr.joiner_liked_per_cycle.get(c + d, 0) for d in range(5)) for c in window]
-    ref_recv = [
-        sum(tr.reference_liked_per_cycle.get(c + d, 0) for d in range(5)) for c in window
+    recv = [
+        sum(tr.joiner_liked_per_cycle.get(c + d, 0) for d in range(5))
+        for c in window
     ]
-    text = "Figure 7: view convergence after join / interest change\n" + "\n".join(lines)
+    ref_recv = [
+        sum(tr.reference_liked_per_cycle.get(c + d, 0) for d in range(5))
+        for c in window
+    ]
+    text = "Figure 7: view convergence after join / interest change\n" + "\n".join(
+        lines
+    )
     text += "\n\nFigure 7c (wup): liked news received per 5-cycle bucket after join\n"
     text += series_table(
         "cycle",
         list(window),
-        {"joining node": [float(x) for x in recv], "reference node": [float(x) for x in ref_recv]},
+        {
+            "joining node": [float(x) for x in recv],
+            "reference node": [float(x) for x in ref_recv],
+        },
         float_fmt=".0f",
     )
     data["joiner_reception"] = recv
@@ -412,7 +448,11 @@ def exp_fig9(scale: ScaleProfile, seed: int) -> ExperimentReport:
     rec: dict[str, list[float]] = {}
     for name in ("c-whatsup", "whatsup", "whatsup-cos"):
         rows = [run_one(name, ds, fanout=f, seed=seed) for f in fanouts]
-        key = {"c-whatsup": "Centralized", "whatsup": "WhatsUp", "whatsup-cos": "WhatsUp-Cos"}[name]
+        key = {
+            "c-whatsup": "Centralized",
+            "whatsup": "WhatsUp",
+            "whatsup-cos": "WhatsUp-Cos",
+        }[name]
         cols[key] = [r.f1 for r in rows]
         prec[key] = [r.precision for r in rows]
         rec[key] = [r.recall for r in rows]

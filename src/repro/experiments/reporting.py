@@ -66,6 +66,11 @@ def series_table(
         row = [x]
         for series in columns.values():
             value = series[i]
-            row.append("-" if value is None or (isinstance(value, float) and np.isnan(value)) else value)
+            row.append(
+                "-"
+                if value is None
+                or (isinstance(value, float) and np.isnan(value))
+                else value
+            )
         rows.append(row)
     return format_table(headers, rows, title=title, float_fmt=float_fmt)

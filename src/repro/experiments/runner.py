@@ -7,7 +7,7 @@ import time
 from repro.datasets.base import Dataset
 from repro.experiments.factory import build_system
 from repro.experiments.results import RunResult
-from repro.metrics.retrieval import RetrievalScores, evaluate_dissemination
+from repro.metrics.retrieval import evaluate_dissemination
 from repro.network.transport import Transport
 
 __all__ = ["score_system", "run_one"]

@@ -26,18 +26,20 @@ shuttles the messages.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 import numpy as np
 
-from repro.gossip.views import View, ViewEntry, descriptor_wire_size
+from repro.gossip.views import View, ViewEntry, shipment_wire_size
 
 __all__ = ["RpsMessage", "RpsProtocol"]
 
 
-@dataclass(frozen=True)
-class RpsMessage:
+class RpsMessage(NamedTuple):
     """One RPS gossip message (request or reply).
+
+    A NamedTuple: two messages are built per exchange, every cycle, for
+    every node — C-level construction keeps them off the hot path.
 
     Attributes
     ----------
@@ -57,7 +59,7 @@ class RpsMessage:
 
     def wire_size(self) -> int:
         """Modelled serialized size in bytes (entries + 1-byte flag)."""
-        return 1 + sum([descriptor_wire_size(e) for e in self.entries])
+        return 1 + shipment_wire_size(self.entries)
 
 
 class RpsProtocol:
@@ -87,7 +89,11 @@ class RpsProtocol:
         self.node_id = node_id
         self.view = View(view_size, owner_id=node_id)
         self.rng = rng
-        self.address = address if address is not None else f"10.0.{node_id >> 8 & 255}.{node_id & 255}"
+        self.address = (
+            address
+            if address is not None
+            else f"10.0.{node_id >> 8 & 255}.{node_id & 255}"
+        )
 
     # -- descriptor -------------------------------------------------------
 
@@ -151,14 +157,14 @@ class RpsProtocol:
         nothing from its own descriptor), matching standard shuffle
         implementations.
         """
-        candidates = [e for e in self.view.entries() if e.node_id != exclude]
+        candidates = self.view.entries_except(exclude)
         half = len(self.view) // 2
         if half > 0 and candidates:
             k = min(half, len(candidates))
             # a permutation prefix is a uniform sample without replacement
             # and draws measurably faster than Generator.choice
-            idx = self.rng.permutation(len(candidates))[:k]
-            shipped = [candidates[int(i)] for i in idx]
+            idx = self.rng.permutation(len(candidates))[:k].tolist()
+            shipped = [candidates[i] for i in idx]
         else:
             shipped = []
         return (self.descriptor(profile, now), *shipped)

@@ -21,8 +21,7 @@ variant swaps in classical cosine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, NamedTuple
 
 import numpy as np
 
@@ -35,14 +34,17 @@ from repro.core.similarity import (
     metric_name_of,
     score_candidates,
 )
-from repro.gossip.views import View, ViewEntry, descriptor_wire_size
+from repro.gossip.views import View, ViewEntry, shipment_wire_size
 
 __all__ = ["ClusteringMessage", "ClusteringProtocol"]
 
 
-@dataclass(frozen=True)
-class ClusteringMessage:
-    """One clustering-layer gossip message (request or reply)."""
+class ClusteringMessage(NamedTuple):
+    """One clustering-layer gossip message (request or reply).
+
+    A NamedTuple for the same hot-path construction economics as
+    :class:`~repro.gossip.rps.RpsMessage`.
+    """
 
     sender: int
     entries: tuple[ViewEntry, ...]
@@ -50,7 +52,7 @@ class ClusteringMessage:
 
     def wire_size(self) -> int:
         """Modelled serialized size in bytes (entries + 1-byte flag)."""
-        return 1 + sum([descriptor_wire_size(e) for e in self.entries])
+        return 1 + shipment_wire_size(self.entries)
 
 
 class ClusteringProtocol:
@@ -133,7 +135,7 @@ class ClusteringProtocol:
             return None
         entries = (
             self.descriptor(profile, now),
-            *[e for e in self.view.entries() if e.node_id != partner],
+            *self.view.entries_except(partner),
         )
         return partner, ClusteringMessage(self.node_id, entries, is_request=True)
 
@@ -158,7 +160,7 @@ class ClusteringProtocol:
         if msg.is_request:
             entries = (
                 self.descriptor(profile, now),
-                *[e for e in self.view.entries() if e.node_id != msg.sender],
+                *self.view.entries_except(msg.sender),
             )
             reply = ClusteringMessage(self.node_id, entries, is_request=False)
         self.merge(

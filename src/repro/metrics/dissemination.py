@@ -40,9 +40,10 @@ def dislike_counter_distribution(
         return {k: 0.0 for k in range(max_ttl + 1)}
     counters = arr["d_dislikes"][liked]
     total = len(counters)
-    return {
-        k: float((counters == k).sum()) / total for k in range(max_ttl + 1)
-    }
+    # one bincount pass instead of one comparison scan per counter value
+    # (the log is a bulk-appended column store; runs are long at scale)
+    counts = np.bincount(counters, minlength=max_ttl + 1)
+    return {k: float(counts[k]) / total for k in range(max_ttl + 1)}
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["RetrievalScores", "evaluate_dissemination", "per_item_scores", "per_user_scores"]
+__all__ = [
+    "RetrievalScores",
+    "evaluate_dissemination",
+    "per_item_scores",
+    "per_user_scores",
+]
 
 
 @dataclass(frozen=True)
@@ -36,7 +41,9 @@ class RetrievalScores:
     f1: float
 
     @staticmethod
-    def from_counts(tp: float, n_reached: float, n_interested: float) -> "RetrievalScores":
+    def from_counts(
+        tp: float, n_reached: float, n_interested: float
+    ) -> "RetrievalScores":
         """Build scores from raw counts (zero-safe)."""
         precision = tp / n_reached if n_reached > 0 else 0.0
         recall = tp / n_interested if n_interested > 0 else 0.0

@@ -17,7 +17,12 @@ import numpy as np
 
 from repro.simulation.events import DisseminationLog
 
-__all__ = ["LatencySummary", "delivery_latencies", "latency_summary", "time_to_audience"]
+__all__ = [
+    "LatencySummary",
+    "delivery_latencies",
+    "latency_summary",
+    "time_to_audience",
+]
 
 
 def delivery_latencies(

@@ -12,7 +12,18 @@ from __future__ import annotations
 import enum
 from typing import NamedTuple
 
-__all__ = ["MessageKind", "Envelope"]
+__all__ = ["MessageKind", "Envelope", "payload_wire_size"]
+
+
+def payload_wire_size(payload: object) -> int:
+    """Modelled serialized size of a protocol payload, in bytes.
+
+    Payloads without a ``wire_size`` method (bare test payloads) measure 0.
+    One attribute lookup instead of the ``hasattr`` + call double lookup —
+    this runs twice per gossip exchange on the engine's hot path.
+    """
+    ws = getattr(payload, "wire_size", None)
+    return 0 if ws is None else ws()
 
 
 class MessageKind(enum.Enum):

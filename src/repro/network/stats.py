@@ -47,6 +47,35 @@ class TrafficStats:
         else:
             self.dropped[kind] += 1
 
+    def record_parts(self, kind: MessageKind, size_bytes: int, delivered: bool) -> None:
+        """Record one attempt from its parts (no envelope construction).
+
+        The engine's lossless fast path accounts gossip legs without
+        materialising an :class:`~repro.network.message.Envelope`; the
+        counters move exactly as :meth:`record` would move them.
+        """
+        self.sent[kind] += 1
+        if delivered:
+            self.delivered[kind] += 1
+            self.bytes_delivered[kind] += size_bytes
+        else:
+            self.dropped[kind] += 1
+
+    def record_items_bulk(self, delivered: int, dropped: int, nbytes: int) -> None:
+        """Account a whole cycle's item sends in one update.
+
+        *delivered* attempts reached an alive target carrying *nbytes*
+        total; *dropped* attempts targeted dead or unknown nodes.  Totals
+        match *delivered + dropped* per-envelope :meth:`record` calls.
+        """
+        kind = MessageKind.ITEM
+        self.sent[kind] += delivered + dropped
+        if delivered:
+            self.delivered[kind] += delivered
+            self.bytes_delivered[kind] += nbytes
+        if dropped:
+            self.dropped[kind] += dropped
+
     # -- derived quantities -------------------------------------------------
 
     def total_sent(self) -> int:

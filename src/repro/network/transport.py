@@ -47,6 +47,17 @@ class Transport(ABC):
     def begin_cycle(self) -> None:
         """Reset per-cycle state (e.g. congestion counters) (optional)."""
 
+    def is_lossless(self) -> bool:
+        """Whether every attempt succeeds with the default one-cycle delay.
+
+        Lossless unit-delay transports let the engine skip per-message
+        ``attempt``/``delay`` dispatch entirely and run the batched delivery
+        pipeline (no loss draws exist whose order could matter).  Transports
+        that drop, delay or even *consult the RNG* per message must return
+        ``False`` — the default.
+        """
+        return False
+
     @abstractmethod
     def attempt(self, envelope: Envelope, rng: np.random.Generator) -> bool:
         """Return ``True`` when *envelope* reaches its target."""
@@ -64,6 +75,12 @@ class Transport(ABC):
 
 class PerfectTransport(Transport):
     """Lossless delivery (the paper's pure-simulation setting)."""
+
+    def is_lossless(self) -> bool:
+        # exact-type check: a subclass overriding attempt()/delay() must
+        # keep the engine's full per-message path unless it opts in by
+        # overriding is_lossless() itself
+        return type(self) is PerfectTransport
 
     def attempt(self, envelope: Envelope, rng: np.random.Generator) -> bool:
         return True
@@ -86,6 +103,12 @@ class UniformLossTransport(Transport):
     def __init__(self, loss_rate: float) -> None:
         check_probability("loss_rate", loss_rate)
         self.loss_rate = float(loss_rate)
+
+    def is_lossless(self) -> bool:
+        # a zero loss rate never drops *and* never consults the RNG, so
+        # the batched pipeline is byte-for-byte equivalent; exact-type
+        # check for the same subclass-safety reason as PerfectTransport
+        return type(self) is UniformLossTransport and self.loss_rate == 0.0
 
     def attempt(self, envelope: Envelope, rng: np.random.Generator) -> bool:
         if self.loss_rate == 0.0:

@@ -87,4 +87,7 @@ class OnionRoutedTransport(Transport):
         return self.legs * (payload_bytes + ONION_HEADER_BYTES)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"OnionRoutedTransport(inner={self.inner!r}, extra_hops={self.extra_hops})"
+        return (
+            f"OnionRoutedTransport(inner={self.inner!r}, "
+            f"extra_hops={self.extra_hops})"
+        )

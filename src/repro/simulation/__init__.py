@@ -16,11 +16,18 @@ subpackage provides the engine those experiments run on:
 * :mod:`repro.simulation.engine` — the engine proper: per cycle it runs
   gossip maintenance, injects publications, and delivers item messages
   enqueued during the previous cycle (one hop per cycle);
+* :mod:`repro.simulation.delivery` — the batched delivery subsystem: the
+  ``REPRO_BATCH_DELIVERY`` gate and the per-cycle batch helpers the engine
+  and nodes share (bitwise-identical to the scalar path at fixed seeds);
 * :mod:`repro.simulation.churn` — node kill/rejoin injection for the
   robustness extension experiments.
 """
 
 from repro.simulation.churn import ChurnModel
+from repro.simulation.delivery import (
+    delivery_batching_enabled,
+    set_delivery_batching,
+)
 from repro.simulation.engine import CycleEngine
 from repro.simulation.events import DisseminationLog
 from repro.simulation.node import BaseNode
@@ -32,4 +39,6 @@ __all__ = [
     "CycleEngine",
     "DisseminationLog",
     "PublicationSchedule",
+    "delivery_batching_enabled",
+    "set_delivery_batching",
 ]

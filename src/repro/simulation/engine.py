@@ -10,15 +10,26 @@ Per cycle, in order (see DESIGN.md §3):
    maintenance (:meth:`~repro.simulation.node.BaseNode.begin_cycle`);
    gossip request/reply pairs complete synchronously within the cycle,
    subject to transport loss;
-6. every alive node drains its current inbox
-   (:meth:`~repro.simulation.node.BaseNode.receive_item`); forwards
-   triggered by these receipts are enqueued for the *next* cycle — one hop
-   per cycle, aligning hop counts with the paper's cycle time unit;
+6. every alive node drains its current inbox — as one per-node batch
+   (:meth:`~repro.simulation.node.BaseNode.receive_items`) on the batched
+   delivery path, or one copy at a time
+   (:meth:`~repro.simulation.node.BaseNode.receive_item`) on the scalar
+   path; forwards triggered by these receipts are enqueued for the *next*
+   cycle — one hop per cycle, aligning hop counts with the paper's cycle
+   time unit;
 7. cycle observers fire (used by the Figure 7 dynamics experiments).
 
 All loss, traffic accounting and event logging funnel through the engine's
 ``gossip`` / ``send_item`` / ``log_*`` methods, so every protocol is measured
 identically.
+
+Under a lossless unit-delay transport the engine runs the **batched
+delivery pipeline** (see :mod:`repro.simulation.delivery`): every item send
+of a cycle is buffered and flushed in one bulk pass (one traffic-stats
+update, ordered future-inbox extension, no per-message envelopes), nodes
+receive their whole cycle inbox at once, and event logging happens in bulk
+appends.  Outcomes are bitwise-identical to the scalar path at fixed seeds;
+``REPRO_BATCH_DELIVERY=0`` restores the scalar pipeline.
 """
 
 from __future__ import annotations
@@ -27,9 +38,10 @@ from collections import defaultdict
 from typing import Callable, Iterable
 
 from repro.core.news import ItemCopy
-from repro.network.message import Envelope, MessageKind
+from repro.network.message import Envelope, MessageKind, payload_wire_size
 from repro.network.stats import TrafficStats
 from repro.network.transport import PerfectTransport, Transport
+from repro.simulation.delivery import delivery_batching_enabled
 from repro.simulation.events import DisseminationLog
 from repro.simulation.node import BaseNode
 from repro.simulation.schedule import PublicationSchedule
@@ -98,10 +110,19 @@ class CycleEngine:
         #: nodes' alive-listener hook instead of being rebuilt every cycle
         self._alive_ids: list[int] | None = None
 
+        #: per-cycle outgoing item buffer (the batched delivery path):
+        #: ``(target_id, (sender_id, copy, via_like))`` rows, flushed into
+        #: the future inboxes and the traffic stats in one bulk pass
+        self._send_buf: list[tuple[int, tuple[int, ItemCopy, bool]]] = []
+        self._buf_bytes: int = 0
+        self._buf_dropped: int = 0
+        self._buffering: bool = False
+
         self.transport.setup(self.nodes.keys(), self._transport_rng)
-        #: exact PerfectTransport never drops: skip the per-message
-        #: attempt() dispatch (subclasses keep the full path)
-        self._lossless = type(self.transport) is PerfectTransport
+        #: lossless unit-delay transports never drop and never consult the
+        #: RNG, so per-message attempt()/delay() dispatch — and, with
+        #: delivery batching, per-message envelopes — can be skipped
+        self._lossless = bool(self.transport.is_lossless())
 
     # ------------------------------------------------------------------ #
     # population management                                               #
@@ -149,17 +170,35 @@ class CycleEngine:
         Both legs pass the transport's loss model independently; a lost
         request silently ends the exchange (gossip protocols are designed
         for exactly this).
+
+        Under a lossless transport the exchange runs envelope-free: both
+        legs are accounted straight into the traffic counters
+        (:meth:`TrafficStats.record_parts`) — same counts, same bytes, no
+        per-message object construction.
         """
-        size = payload.wire_size() if hasattr(payload, "wire_size") else 0
-        env = Envelope(sender_id, target_id, kind, payload, size)
+        if self._lossless:
+            target = self.nodes.get(target_id)
+            ok = target is not None and target._alive
+            self.stats.record_parts(kind, payload_wire_size(payload), ok)
+            if not ok:
+                return
+            reply = target.on_gossip(payload, kind, self, self.now)
+            if reply is None:
+                return
+            sender = self.nodes.get(sender_id)
+            rok = sender is not None and sender._alive
+            self.stats.record_parts(kind, payload_wire_size(reply), rok)
+            if rok:
+                sender.on_gossip(reply, kind, self, self.now)
+            return
+        env = Envelope(
+            sender_id, target_id, kind, payload, payload_wire_size(payload)
+        )
         target = self.nodes.get(target_id)
         ok = (
             target is not None
             and target.alive
-            and (
-                self._lossless
-                or self.transport.attempt(env, self._transport_rng)
-            )
+            and self.transport.attempt(env, self._transport_rng)
         )
         self.stats.record(env, ok)
         if not ok:
@@ -167,16 +206,14 @@ class CycleEngine:
         reply = target.on_gossip(payload, kind, self, self.now)
         if reply is None:
             return
-        rsize = reply.wire_size() if hasattr(reply, "wire_size") else 0
-        renv = Envelope(target_id, sender_id, kind, reply, rsize)
+        renv = Envelope(
+            target_id, sender_id, kind, reply, payload_wire_size(reply)
+        )
         sender = self.nodes.get(sender_id)
         rok = (
             sender is not None
             and sender.alive
-            and (
-                self._lossless
-                or self.transport.attempt(renv, self._transport_rng)
-            )
+            and self.transport.attempt(renv, self._transport_rng)
         )
         self.stats.record(renv, rok)
         if rok:
@@ -194,7 +231,24 @@ class CycleEngine:
         Arrival is after ``transport.delay(...)`` cycles — 1 under the
         paper's one-hop-per-cycle model, longer under
         :class:`~repro.network.transport.LatencyTransport`.
+
+        While the engine is inside a batched cycle, sends are buffered and
+        flushed in one bulk pass at cycle end (:meth:`_flush_item_sends`)
+        — no envelope, no per-message stats update.  The buffered rows
+        reach the future inboxes in exactly the order the scalar path
+        would have appended them.
         """
+        if self._buffering:
+            target = self.nodes.get(target_id)
+            if target is not None and target._alive:
+                self._send_buf.append(
+                    (target_id, (sender_id, copy, via_like))
+                )
+                self._buf_bytes += copy.wire_size()
+                self._pending_items += 1
+            else:
+                self._buf_dropped += 1
+            return
         env = Envelope(
             sender_id,
             target_id,
@@ -225,6 +279,67 @@ class CycleEngine:
             )
             self._pending_items += 1
 
+    def send_fanout(
+        self,
+        sender_id: int,
+        targets: list[int],
+        copy: ItemCopy,
+        via_like: bool,
+        bump_dislikes: bool = False,
+    ) -> None:
+        """Fan one item copy out to several targets (BEEP's ship loop).
+
+        Each target receives an independent forwarded copy (hop count +1,
+        optionally a bumped dislike counter).  On the batched path the
+        *last* alive target takes ownership of the original copy — the
+        sender never touches it again — so one profile clone per
+        forwarding action is skipped; all copies are buffered with a
+        single wire-size measurement (clones of one action are the same
+        size: forwarding does not alter the profile).
+        """
+        extra = 1 if bump_dislikes else 0
+        if not self._buffering:
+            for target in targets:
+                self.send_item(
+                    sender_id, target, copy.clone_for_forward(extra), via_like
+                )
+            return
+        nodes_get = self.nodes.get
+        alive = []
+        for target in targets:
+            node = nodes_get(target)
+            if node is not None and node._alive:
+                alive.append(target)
+        dropped = len(targets) - len(alive)
+        if dropped:
+            self._buf_dropped += dropped
+        n = len(alive)
+        if n == 0:
+            return
+        buf = self._send_buf
+        last = alive[-1]
+        for target in alive[:-1]:
+            buf.append(
+                (target, (sender_id, copy.clone_for_forward(extra), via_like))
+            )
+        buf.append((last, (sender_id, copy.advance_hop(extra), via_like)))
+        self._buf_bytes += copy.wire_size() * n
+        self._pending_items += n
+
+    def _flush_item_sends(self) -> None:
+        """Apply the cycle's buffered item sends in one bulk pass."""
+        buf = self._send_buf
+        dropped = self._buf_dropped
+        if buf or dropped:
+            self.stats.record_items_bulk(len(buf), dropped, self._buf_bytes)
+        if buf:
+            inboxes = self._future_inboxes[self.now + 1]
+            for target_id, entry in buf:
+                inboxes[target_id].append(entry)
+            self._send_buf = []
+        self._buf_bytes = 0
+        self._buf_dropped = 0
+
     # ------------------------------------------------------------------ #
     # event logging (called by node implementations)                      #
     # ------------------------------------------------------------------ #
@@ -250,6 +365,54 @@ class CycleEngine:
     def log_duplicate(self) -> None:
         """Record a duplicate receipt (dropped per SIR)."""
         self.log.log_duplicate()
+
+    def log_duplicates(self, n: int) -> None:
+        """Record *n* duplicate receipts at once (batched delivery path)."""
+        self.log.log_duplicates(n)
+
+    def log_deliveries(
+        self,
+        node_id: int,
+        item_ids: list[int],
+        hops: list[int],
+        dislikes: list[int],
+        liked: list[bool],
+        via_like: list[bool],
+    ) -> None:
+        """Record one node's first receipts of this cycle in bulk.
+
+        Column-aligned lists in arrival order; produces exactly the rows
+        the per-receipt :meth:`log_delivery` calls would.
+        """
+        index_map = self.schedule.index_map
+        self.log.log_deliveries(
+            [index_map[iid] for iid in item_ids],
+            node_id,
+            self.now,
+            hops,
+            dislikes,
+            liked,
+            via_like,
+        )
+
+    def log_forwards(
+        self,
+        node_id: int,
+        item_ids: list[int],
+        hops: list[int],
+        liked: list[bool],
+        n_targets: list[int],
+    ) -> None:
+        """Record one node's forwarding actions of this cycle in bulk."""
+        index_map = self.schedule.index_map
+        self.log.log_forwards(
+            [index_map[iid] for iid in item_ids],
+            node_id,
+            self.now,
+            hops,
+            liked,
+            n_targets,
+        )
 
     def log_forward(
         self,
@@ -305,6 +468,11 @@ class CycleEngine:
         if self.churn is not None:
             self.churn.apply(self, now)
 
+        # batched delivery: buffer every item send of the cycle and flush
+        # once; only safe when no per-message loss/delay draws exist
+        batching = self._lossless and delivery_batching_enabled()
+        self._buffering = batching
+
         # messages whose delay expires this cycle become deliverable
         inbox = self._future_inboxes.pop(now, {})
         if inbox:
@@ -327,12 +495,21 @@ class CycleEngine:
         # item deliveries from the previous cycle
         delivery_ids = [nid for nid in inbox if nid in self.nodes]
         self._order_rng.shuffle(delivery_ids)
-        for nid in delivery_ids:
-            node = self.nodes[nid]
-            if not node.alive:
-                continue
-            for _sender, copy, via_like in inbox[nid]:
-                node.receive_item(copy, via_like, self, now)
+        if batching:
+            nodes = self.nodes
+            for nid in delivery_ids:
+                node = nodes[nid]
+                if node._alive:
+                    node.receive_items(inbox[nid], self, now)
+            self._buffering = False
+            self._flush_item_sends()
+        else:
+            for nid in delivery_ids:
+                node = self.nodes[nid]
+                if not node.alive:
+                    continue
+                for _sender, copy, via_like in inbox[nid]:
+                    node.receive_item(copy, via_like, self, now)
 
         for fn in self._observers:
             fn(self, now)

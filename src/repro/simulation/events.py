@@ -108,6 +108,57 @@ class DisseminationLog:
         """Count a duplicate receipt (dropped by the SIR rule)."""
         self.duplicates += 1
 
+    # -- bulk recording (the batched delivery path) ---------------------------
+
+    def log_deliveries(
+        self,
+        item_indices: list[int],
+        node: int,
+        cycle: int,
+        hops: list[int],
+        dislikes: list[int],
+        liked: list[bool],
+        via_like: list[bool],
+    ) -> None:
+        """Record one node's first receipts of a cycle in one bulk append.
+
+        Column-aligned lists, one row per receipt; *node* and *cycle* are
+        scalars shared by the whole batch.  Produces exactly the rows the
+        per-receipt :meth:`log_delivery` calls would, in the same order.
+        """
+        k = len(item_indices)
+        self.d_item.extend(item_indices)
+        self.d_node.extend([node] * k)
+        self.d_cycle.extend([cycle] * k)
+        self.d_hops.extend(hops)
+        self.d_dislikes.extend(dislikes)
+        self.d_liked.extend(liked)
+        self.d_via_like.extend(via_like)
+        self._arrays = None
+
+    def log_forwards(
+        self,
+        item_indices: list[int],
+        node: int,
+        cycle: int,
+        hops: list[int],
+        liked: list[bool],
+        n_targets: list[int],
+    ) -> None:
+        """Record one node's forwarding actions of a cycle in bulk."""
+        k = len(item_indices)
+        self.f_item.extend(item_indices)
+        self.f_node.extend([node] * k)
+        self.f_cycle.extend([cycle] * k)
+        self.f_hops.extend(hops)
+        self.f_liked.extend(liked)
+        self.f_targets.extend(n_targets)
+        self._arrays = None
+
+    def log_duplicates(self, n: int) -> None:
+        """Count *n* duplicate receipts at once (batched delivery path)."""
+        self.duplicates += n
+
     # -- array access ---------------------------------------------------------
 
     def arrays(self) -> dict[str, np.ndarray]:

@@ -90,6 +90,24 @@ class BaseNode(ABC):
         duplicates are counted and metrics see every delivery.
         """
 
+    def receive_items(
+        self,
+        deliveries: "list[tuple[int, ItemCopy, bool]]",
+        engine: "CycleEngine",
+        now: int,
+    ) -> None:
+        """Handle this node's whole per-cycle delivery batch.
+
+        Called by the engine's batched delivery path with the node's full
+        cycle inbox (``(sender, copy, via_like)`` rows in arrival order).
+        The default delegates to :meth:`receive_item` per row — protocols
+        without a bulk implementation keep exact per-message semantics;
+        overrides must produce the same outcomes as that loop.
+        """
+        receive = self.receive_item
+        for _sender, copy, via_like in deliveries:
+            receive(copy, via_like, engine, now)
+
     @abstractmethod
     def publish(self, item: NewsItem, engine: "CycleEngine", now: int) -> None:
         """Publish a fresh item (this node is the source)."""

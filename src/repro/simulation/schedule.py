@@ -60,7 +60,12 @@ class PublicationSchedule:
                 f"publish_cycles must be > 0, got {publish_cycles}"
             )
         return PublicationSchedule(
-            (PublicationSchedule.publication_cycle_of(i, len(items), publish_cycles), item)
+            (
+                PublicationSchedule.publication_cycle_of(
+                    i, len(items), publish_cycles
+                ),
+                item,
+            )
             for i, item in enumerate(items)
         )
 
@@ -85,6 +90,15 @@ class PublicationSchedule:
     def index_of(self, item_id: int) -> int:
         """Dense index of an item id (raises ``KeyError`` if unknown)."""
         return self._index_of[item_id]
+
+    @property
+    def index_map(self) -> dict[int, int]:
+        """The full ``item_id -> dense index`` mapping (do not mutate).
+
+        The batched delivery path maps a whole cycle's receipts in one local
+        dict-lookup loop instead of one :meth:`index_of` call per message.
+        """
+        return self._index_of
 
     @property
     def n_items(self) -> int:

@@ -13,7 +13,7 @@ from repro.baselines import (
     GossipSystem,
 )
 from repro.core import WhatsUpConfig
-from repro.datasets import digg_dataset, survey_dataset, synthetic_dataset
+from repro.datasets import digg_dataset, survey_dataset
 from repro.utils.exceptions import ConfigurationError, DatasetError
 
 
@@ -154,7 +154,9 @@ class TestCPubSub:
         ps = CPubSubSystem(survey)
         ps.run()
         reached = ps.reached_matrix()
-        expected = int(sum(max(reached[:, i].sum() - 1, 0) for i in range(survey.n_items)))
+        expected = int(
+            sum(max(reached[:, i].sum() - 1, 0) for i in range(survey.n_items))
+        )
         assert ps.total_messages == expected
 
     def test_requires_run_before_reached(self, survey):

@@ -246,7 +246,9 @@ class TestScoreCache:
     def test_clear(self):
         cache = ScoreCache()
         owner = big_user_profile([1]).snapshot()
-        score_candidates(owner, [FrozenProfile({1: 1.0}, is_binary=True)], "wup", cache=cache)
+        score_candidates(
+            owner, [FrozenProfile({1: 1.0}, is_binary=True)], "wup", cache=cache
+        )
         assert len(cache) == 1
         cache.clear()
         assert len(cache) == 0

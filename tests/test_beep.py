@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.beep import BeepForwarder
 from repro.core.config import WhatsUpConfig
@@ -147,7 +146,9 @@ class TestDislikePath:
     def test_empty_rps_view_sends_nothing(self):
         fw = forwarder()
         eng = FakeEngine()
-        n = fw.forward(0, fresh_copy(scores={1: 1.0}), False, view_of(0, {}), view_of(0, {}), eng)
+        n = fw.forward(
+            0, fresh_copy(scores={1: 1.0}), False, view_of(0, {}), view_of(0, {}), eng
+        )
         assert n == 0
 
     def test_no_similarity_still_forwards_somewhere(self):

@@ -66,7 +66,9 @@ class TestViewSimilarity:
         for iid in (1, 2, 3):
             node.profile.record_opinion(iid, 0, True)
         node.wup.view.upsert(
-            ViewEntry(5, "a", FrozenProfile({1: 1.0, 2: 1.0, 3: 1.0}, is_binary=True), 0)
+            ViewEntry(
+                5, "a", FrozenProfile({1: 1.0, 2: 1.0, 3: 1.0}, is_binary=True), 0
+            )
         )
         metric = get_metric("wup")
         assert view_similarity_to(node, node, metric) == pytest.approx(1.0)

@@ -43,7 +43,9 @@ class FloodNode(BaseNode):
             return
         self.seen.add(iid)
         engine.log_delivery(self.node_id, copy, liked=True, via_like=via_like)
-        engine.log_forward(self.node_id, copy, liked=True, n_targets=len(self.neighbours))
+        engine.log_forward(
+            self.node_id, copy, liked=True, n_targets=len(self.neighbours)
+        )
         for nb in self.neighbours:
             engine.send_item(self.node_id, nb, copy.clone_for_forward(), via_like=True)
 
@@ -98,7 +100,12 @@ class TestEngineBasics:
         item1 = NewsItem.publish(source=1, created_at=0, title="a2")
         # both sources publish the *same* payload? They must be distinct
         # items; instead wire both nodes to flood one item through two paths.
-        nodes = [FloodNode(0, [1, 2]), FloodNode(1, [3]), FloodNode(2, [3]), FloodNode(3, [])]
+        nodes = [
+            FloodNode(0, [1, 2]),
+            FloodNode(1, [3]),
+            FloodNode(2, [3]),
+            FloodNode(3, []),
+        ]
         eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
         eng.run(4)
         assert eng.log.duplicates == 1

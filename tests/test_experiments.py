@@ -6,12 +6,10 @@ suite; here we validate the machinery on tiny workloads.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
 from repro.core import WhatsUpConfig
-from repro.datasets import survey_dataset
 from repro.experiments import (
     EXPERIMENTS,
     ScaleProfile,
@@ -171,7 +169,9 @@ class TestRunnerAndSweeps:
 
 class TestReporting:
     def test_results_table_renders(self):
-        runs = [RunResult("whatsup", "d", {"fanout": 3}, RetrievalScores(0.4, 0.8, 0.53))]
+        runs = [
+            RunResult("whatsup", "d", {"fanout": 3}, RetrievalScores(0.4, 0.8, 0.53))
+        ]
         runs[0].messages_per_user = 12.3
         out = results_table(runs, title="T")
         assert "whatsup(fanout=3)" in out

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.profiles import FrozenProfile, UserProfile
+from repro.core.profiles import FrozenProfile
 from repro.core.similarity import wup_similarity
 from repro.gossip.rps import RpsMessage, RpsProtocol
 from repro.gossip.vicinity import ClusteringMessage, ClusteringProtocol
@@ -82,7 +82,9 @@ class TestRpsProtocol:
 
     def test_view_never_exceeds_capacity(self, rps_pair):
         a, _ = rps_pair
-        big = RpsMessage(9, tuple(entry(i, ts=1) for i in range(10, 30)), is_request=False)
+        big = RpsMessage(
+            9, tuple(entry(i, ts=1) for i in range(10, 30)), is_request=False
+        )
         a.handle(big, snapshot(), now=1)
         assert len(a.view) <= a.view.capacity
 

@@ -95,8 +95,12 @@ class TestHeadlineClaims:
 
     def test_dislike_ttl_improves_recall(self, survey):
         """Figure 5: disabling the dislike path costs recall."""
-        off = run_one("whatsup", survey, seed=3, config=WhatsUpConfig(f_like=8, beep_ttl=0))
-        on = run_one("whatsup", survey, seed=3, config=WhatsUpConfig(f_like=8, beep_ttl=4))
+        off = run_one(
+            "whatsup", survey, seed=3, config=WhatsUpConfig(f_like=8, beep_ttl=0)
+        )
+        on = run_one(
+            "whatsup", survey, seed=3, config=WhatsUpConfig(f_like=8, beep_ttl=4)
+        )
         assert on.recall > off.recall
 
     def test_loss_tolerance_at_fanout_six(self, survey):
@@ -119,8 +123,12 @@ class TestHeadlineClaims:
 
     def test_centralized_has_better_precision(self, survey):
         """Figure 9 / §V-G: averaged over two fanouts to damp seed noise."""
-        cen = np.mean([scores_of("c-whatsup", survey, fanout=f).precision for f in (4, 6)])
-        dec = np.mean([scores_of("whatsup", survey, fanout=f).precision for f in (4, 6)])
+        cen = np.mean(
+            [scores_of("c-whatsup", survey, fanout=f).precision for f in (4, 6)]
+        )
+        dec = np.mean(
+            [scores_of("whatsup", survey, fanout=f).precision for f in (4, 6)]
+        )
         assert cen > dec
 
     def test_churn_resilience(self, survey):

@@ -127,7 +127,11 @@ class TestCrossDatasetSmoke:
         "dataset_factory",
         [
             lambda: synthetic_dataset(
-                n_users=60, n_communities=4, items_per_community=6, seed=6, publish_cycles=20
+                n_users=60,
+                n_communities=4,
+                items_per_community=6,
+                seed=6,
+                publish_cycles=20,
             ),
             lambda: digg_dataset(n_users=50, n_items=60, seed=6, publish_cycles=20),
         ],

@@ -90,7 +90,11 @@ class TestRetrievalScores:
         s = evaluate_dissemination(reached, likes)
         assert 0.0 <= s.precision <= 1.0
         assert 0.0 <= s.recall <= 1.0
-        assert min(s.precision, s.recall) - 1e-12 <= s.f1 <= max(s.precision, s.recall) + 1e-12
+        assert (
+            min(s.precision, s.recall) - 1e-12
+            <= s.f1
+            <= max(s.precision, s.recall) + 1e-12
+        )
 
 
 class TestPerItemUserScores:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.news import ItemCopy, NewsItem
@@ -146,7 +145,9 @@ class TestTrafficStats:
         s = TrafficStats()
         for _ in range(100):
             s.record(env(kind=MessageKind.ITEM), True)
-        assert s.messages_per_user_per_cycle(n_nodes=10, n_cycles=5) == pytest.approx(2.0)
+        assert s.messages_per_user_per_cycle(n_nodes=10, n_cycles=5) == pytest.approx(
+            2.0
+        )
         assert s.messages_per_user(n_nodes=10) == pytest.approx(10.0)
 
     def test_bandwidth_kbps(self):

@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import WhatsUpConfig, WhatsUpSystem
-from repro.core.profiles import UserProfile
 from repro.datasets import survey_dataset
 from repro.metrics import evaluate_dissemination
 from repro.network.message import Envelope, MessageKind

@@ -8,7 +8,13 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.profiles import FrozenProfile, ItemProfile, Profile, ProfileEntry, UserProfile
+from repro.core.profiles import (
+    FrozenProfile,
+    ItemProfile,
+    Profile,
+    ProfileEntry,
+    UserProfile,
+)
 from tests.conftest import make_item_profile, make_user_profile
 
 

@@ -75,7 +75,11 @@ class TestTemporalMetrics:
     def _log(self):
         log = DisseminationLog()
         # item 0 published at cycle 2: deliveries at cycles 2, 4, 8
-        for node, cyc, hops, liked in ((0, 2, 0, True), (1, 4, 2, True), (2, 8, 6, False)):
+        for node, cyc, hops, liked in (
+            (0, 2, 0, True),
+            (1, 4, 2, True),
+            (2, 8, 6, False),
+        ):
             log.log_delivery(0, node, cyc, hops, 0, liked, True)
         return log
 

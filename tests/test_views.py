@@ -11,7 +11,9 @@ from repro.utils.exceptions import ConfigurationError
 
 def entry(node_id: int, ts: int = 0, likes: tuple[int, ...] = ()) -> ViewEntry:
     profile = FrozenProfile({i: 1.0 for i in likes}, is_binary=True)
-    return ViewEntry(node_id=node_id, address=f"10.0.0.{node_id}", profile=profile, timestamp=ts)
+    return ViewEntry(
+        node_id=node_id, address=f"10.0.0.{node_id}", profile=profile, timestamp=ts
+    )
 
 
 class TestViewBasics:

@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import WhatsUpConfig, WhatsUpNode, WhatsUpSystem
 from repro.core.coldstart import bootstrap_from_contact, popular_items_in_views
 from repro.core.news import ItemCopy, NewsItem
 from repro.core.profiles import FrozenProfile
-from repro.datasets import survey_dataset, synthetic_dataset
+from repro.datasets import synthetic_dataset
 from repro.gossip.views import ViewEntry
 from repro.network.message import MessageKind
 from repro.simulation.engine import CycleEngine
@@ -68,8 +67,12 @@ class TestAlgorithm1Receive:
         node = make_node()
         it = item()
         eng = engine_for([node], [(0, it)])
-        node.receive_item(ItemCopy(item=it, profile=make_item_profile({})), True, eng, 0)
-        node.receive_item(ItemCopy(item=it, profile=make_item_profile({})), True, eng, 1)
+        node.receive_item(
+            ItemCopy(item=it, profile=make_item_profile({})), True, eng, 0
+        )
+        node.receive_item(
+            ItemCopy(item=it, profile=make_item_profile({})), True, eng, 1
+        )
         assert eng.log.duplicates == 1
         assert eng.log.n_deliveries == 1
 
