@@ -16,16 +16,21 @@ Three fixed-seed scenarios:
 * ``medium-synthetic`` — the Arxiv-like community workload at ``medium``
   scale (gossip-machinery-dominated).
 
-Each scenario runs twice: with the full **batch** stack — vectorised
-similarity scoring (PR 1) plus the batched per-cycle delivery pipeline
-(buffered bulk sends, per-node batch receipt, bulk event logging) — and
-with the **scalar** path (``set_batch_scoring(False)`` +
-``set_delivery_batching(False)``), the one-envelope-at-a-time pre-PR
-pipeline.  The run also verifies that both paths leave *identical*
-outcomes after a fixed-seed run: WUP and RPS view contents, user
-profiles, the full delivery/forward event log, duplicate counts and
-traffic counters — dissemination is provably unchanged by the batch
-machinery.
+Each scenario runs once per pipeline tier:
+
+* **scalar** — per-pair scoring, one-envelope-at-a-time delivery
+  (``batch_scoring(False)`` + ``delivery_batching(False)``): the pre-PR-1
+  reference semantics;
+* **batch** — vectorised similarity scoring (PR 1) plus the batched
+  per-cycle delivery pipeline (PR 2), native kernels off;
+* **native** — the batch stack with the compiled kernels of
+  :mod:`repro._native` on top (PR 3's merge scoring+trim and BEEP
+  fan-out in C).  Skipped with a note when the extension is not built.
+
+The run also verifies that all tiers leave *identical* outcomes after a
+fixed-seed run: WUP and RPS view contents, user profiles, the full
+delivery/forward event log, duplicate counts and traffic counters —
+dissemination is provably unchanged by any of the acceleration machinery.
 
 Usage::
 
@@ -35,7 +40,9 @@ Usage::
         --baseline-json seed_baseline.json   # merge pre-PR cycles/sec
 
 ``--baseline-json`` points at ``{"scenario-name": cycles_per_sec}``
-measurements taken on the pre-PR tree, enabling ``speedup_vs_pre_pr``.
+measurements taken on the pre-PR tree, enabling ``speedup_vs_pre_pr``
+(without it, the PR 2 tree's committed ``batch_cps`` values below serve
+as the standing baseline for the native acceptance ratios).
 """
 
 from __future__ import annotations
@@ -47,12 +54,24 @@ import time
 from pathlib import Path
 
 from repro.core import WhatsUpConfig, WhatsUpSystem
-from repro.core.similarity import default_score_cache, set_batch_scoring
+from repro.core.similarity import (
+    batch_scoring,
+    default_score_cache,
+    native_available,
+    native_kernel,
+)
 from repro.experiments.scale import SCALES
-from repro.simulation.delivery import set_delivery_batching
+from repro.simulation.delivery import delivery_batching
 
 #: benchmark seed (deterministic suite)
 BENCH_SEED = 2
+
+#: pipeline tier -> (batch gate, native gate)
+MODES: dict[str, tuple[bool, bool]] = {
+    "scalar": (False, False),
+    "batch": (True, False),
+    "native": (True, True),
+}
 
 #: scenario name -> (scale, dataset, f_like, total cycles)
 SCENARIOS: dict[str, dict] = {
@@ -85,11 +104,22 @@ SCENARIOS: dict[str, dict] = {
     },
 }
 
-#: scenario -> target speedup over the PR 1 baseline (the PR 2 acceptance
-#: criteria: >= 1.5x at medium scale, >= 2x at paper scale)
+#: the committed PR 2 ``batch_cps`` values — the standing baseline the
+#: PR 3 acceptance ratio is measured against ("≥3× medium-scale
+#: cycles/sec over the committed BENCH_scale_throughput.json baseline on
+#: the native path"); kept inline so a rewritten JSON cannot move its own
+#: goalposts
+PR2_BASELINE_CPS = {
+    "small-survey": 27.9672,
+    "medium-survey": 5.2897,
+    "medium-synthetic": 3.0984,
+    "paper-synthetic": 0.6632,
+}
+
+#: scenario -> target native-path speedup over the committed PR 2 baseline
 ACCEPTANCE_TARGETS = {
-    "medium-survey": 1.5,
-    "paper-synthetic": 2.0,
+    "medium-survey": 3.0,
+    "medium-synthetic": 3.0,
 }
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_scale_throughput.json"
@@ -101,25 +131,24 @@ def build_system(spec: dict, seed: int = BENCH_SEED) -> WhatsUpSystem:
     return WhatsUpSystem(dataset, WhatsUpConfig(f_like=spec["f_like"]), seed=seed)
 
 
-def run_mode(spec: dict, batch: bool, seed: int = BENCH_SEED) -> dict:
-    """One fresh fixed-seed run; returns cycles/sec and run dimensions.
+def run_mode(spec: dict, mode: str, seed: int = BENCH_SEED) -> dict:
+    """One fresh fixed-seed run of a pipeline tier (see :data:`MODES`).
 
-    *batch* toggles the whole batch stack: vectorised similarity scoring
-    **and** the batched delivery pipeline.  ``batch=False`` is the scalar
-    one-envelope-at-a-time path.
+    The restore-guarded context managers pin the batch/native gates for
+    the run and put the previous settings back even if it raises.
     """
-    prev_scoring = set_batch_scoring(batch)
-    prev_delivery = set_delivery_batching(batch)
-    default_score_cache().clear()
-    try:
+    batch, native = MODES[mode]
+    with (
+        batch_scoring(batch),
+        delivery_batching(batch),
+        native_kernel(native),
+    ):
+        default_score_cache().clear()
         system = build_system(spec, seed)
         cycles = spec["cycles"]
         t0 = time.perf_counter()
         system.engine.run(cycles)
         elapsed = time.perf_counter() - t0
-    finally:
-        set_batch_scoring(prev_scoring)
-        set_delivery_batching(prev_delivery)
     return {
         "n_users": len(system.nodes),
         "n_items": system.dataset.n_items,
@@ -155,25 +184,25 @@ def _system_state(system: WhatsUpSystem) -> dict:
 
 
 def check_equivalence(spec: dict, seed: int = BENCH_SEED) -> dict:
-    """Run scalar and batch paths at a fixed seed; compare final states."""
+    """Run every pipeline tier at a fixed seed; compare final states."""
+    modes = ["scalar", "batch"] + (["native"] if native_available() else [])
     states = {}
-    prev_scoring = set_batch_scoring(True)
-    prev_delivery = set_delivery_batching(True)
-    try:
-        for mode, batch in (("scalar", False), ("batch", True)):
-            set_batch_scoring(batch)
-            set_delivery_batching(batch)
+    for mode in modes:
+        batch, native = MODES[mode]
+        with (
+            batch_scoring(batch),
+            delivery_batching(batch),
+            native_kernel(native),
+        ):
             default_score_cache().clear()
             system = build_system(spec, seed)
             system.engine.run(spec["cycles"])
             states[mode] = _system_state(system)
-    finally:
-        set_batch_scoring(prev_scoring)
-        set_delivery_batching(prev_delivery)
-    identical = states["scalar"] == states["batch"]
+    identical = all(states[m] == states["scalar"] for m in modes[1:])
     return {
         "cycles": spec["cycles"],
         "seed": seed,
+        "modes": modes,
         "views_profiles_logs_identical": identical,
     }
 
@@ -212,13 +241,21 @@ def main(argv: list[str] | None = None) -> int:
         "scenarios": {},
     }
 
+    have_native = native_available()
+    if not have_native:
+        print(
+            "[native] extension not built "
+            "(PYTHONPATH=src python -m repro._native.build_native) "
+            "- recording scalar/batch only"
+        )
+
     for name in names:
         spec = SCENARIOS[name]
         print(f"[{name}] scalar (pre-PR-equivalent scoring path) ...")
-        scalar = run_mode(spec, batch=False)
+        scalar = run_mode(spec, "scalar")
         print(f"[{name}]   {scalar['cycles_per_sec']} cycles/sec")
         print(f"[{name}] batch (packed kernel + score cache) ...")
-        batch = run_mode(spec, batch=True)
+        batch = run_mode(spec, "batch")
         print(f"[{name}]   {batch['cycles_per_sec']} cycles/sec")
         entry = {
             **{k: batch[k] for k in ("n_users", "n_items", "cycles")},
@@ -229,14 +266,26 @@ def main(argv: list[str] | None = None) -> int:
                 batch["cycles_per_sec"] / scalar["cycles_per_sec"], 3
             ),
         }
-        if name in baselines:
-            entry["pre_pr_baseline_cps"] = baselines[name]
-            entry["speedup_vs_pre_pr"] = round(
-                batch["cycles_per_sec"] / baselines[name], 3
+        if have_native:
+            print(f"[{name}] native (compiled merge/fan-out kernels) ...")
+            native = run_mode(spec, "native")
+            print(f"[{name}]   {native['cycles_per_sec']} cycles/sec")
+            entry["native_cps"] = native["cycles_per_sec"]
+            entry["speedup_native_vs_scalar"] = round(
+                native["cycles_per_sec"] / scalar["cycles_per_sec"], 3
             )
+            entry["speedup_native_vs_batch"] = round(
+                native["cycles_per_sec"] / batch["cycles_per_sec"], 3
+            )
+        pre_pr = baselines.get(name, PR2_BASELINE_CPS.get(name))
+        if pre_pr:
+            entry["pre_pr_baseline_cps"] = pre_pr
+            best = entry.get("native_cps", entry["batch_cps"])
+            entry["speedup_vs_pre_pr"] = round(best / pre_pr, 3)
         report["scenarios"][name] = entry
 
-    print("[equivalence] scalar vs batch on small-survey ...")
+    modes_label = "scalar/batch" + ("/native" if have_native else "")
+    print(f"[equivalence] {modes_label} on small-survey ...")
     report["equivalence"] = check_equivalence(SCENARIOS["small-survey"])
     print(f"[equivalence]   {report['equivalence']}")
 
@@ -248,9 +297,9 @@ def main(argv: list[str] | None = None) -> int:
         entry = report["scenarios"].get(scenario)
         if entry is None:
             continue
-        achieved = entry.get(
-            "speedup_vs_pre_pr", entry["speedup_batch_vs_scalar"]
-        )
+        achieved = entry.get("speedup_vs_pre_pr")
+        if achieved is None:
+            continue
         acceptance[scenario] = {
             "target_speedup": target,
             "achieved_speedup": achieved,

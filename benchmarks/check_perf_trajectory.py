@@ -2,14 +2,17 @@
 
 Reads a freshly produced ``bench_scale_throughput.py`` report and the
 committed ``BENCH_scale_throughput.json`` baseline, then compares
-``batch_cps`` per scenario:
+``batch_cps`` — and, when both reports carry it, ``native_cps`` — per
+scenario:
 
 * a regression beyond ``--threshold`` (default 25%) **fails** the check for
   scenarios large enough to measure reliably;
 * small scenarios (``small-*`` — the only ones ``--quick`` CI runs) are too
   noisy on shared runners, so regressions there only **warn**;
-* a failed scalar/batch equivalence flag in the fresh report always fails —
-  a perf win that changes outcomes is not a win.
+* a fresh report without ``native_cps`` (no compiler on the runner) only
+  warns — the no-compiler fallback leg is a supported configuration;
+* a failed equivalence flag in the fresh report always fails — a perf win
+  that changes outcomes is not a win.
 
 Usage (the CI ``perf-trajectory`` job)::
 
@@ -52,23 +55,32 @@ def compare(
         if base is None:
             warnings.append(f"{name}: no baseline entry, skipping")
             continue
-        base_cps = base.get("batch_cps")
-        new_cps = entry.get("batch_cps")
-        if not base_cps or not new_cps:
-            warnings.append(f"{name}: missing batch_cps, skipping")
-            continue
-        ratio = new_cps / base_cps
-        line = (
-            f"{name}: {new_cps:.3f} vs baseline {base_cps:.3f} cycles/sec "
-            f"({ratio:.2f}x)"
-        )
-        if ratio < 1.0 - threshold:
-            if name.startswith(WARN_ONLY_PREFIXES):
-                warnings.append(f"{line} - regression (warn-only scale)")
+        for key in ("batch_cps", "native_cps"):
+            base_cps = base.get(key)
+            new_cps = entry.get(key)
+            if not base_cps:
+                if key == "batch_cps":
+                    # batch_cps is mandatory in every baseline; a silent
+                    # skip here would gate zero comparisons while green
+                    warnings.append(f"{name}: baseline missing {key}")
+                continue  # native_cps: not tracked in this baseline yet
+            if not new_cps:
+                # a fresh report without the native path (no compiler on
+                # the runner) is the supported fallback configuration
+                warnings.append(f"{name}: no fresh {key} (fallback leg?)")
+                continue
+            ratio = new_cps / base_cps
+            line = (
+                f"{name} {key}: {new_cps:.3f} vs baseline {base_cps:.3f} "
+                f"cycles/sec ({ratio:.2f}x)"
+            )
+            if ratio < 1.0 - threshold:
+                if name.startswith(WARN_ONLY_PREFIXES):
+                    warnings.append(f"{line} - regression (warn-only scale)")
+                else:
+                    failures.append(f"{line} - regression beyond threshold")
             else:
-                failures.append(f"{line} - regression beyond threshold")
-        else:
-            warnings.append(f"{line} - ok")
+                warnings.append(f"{line} - ok")
     return failures, warnings
 
 

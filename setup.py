@@ -1,11 +1,42 @@
 """Setuptools shim.
 
-All metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e . --no-use-pep517`` works on environments without the
-``wheel`` package (offline boxes where PEP 660 editable builds cannot build
-a wheel).
+This file exists so that ``pip install -e . --no-use-pep517`` works on
+environments without the ``wheel`` package (offline boxes where PEP 660
+editable builds cannot build a wheel).
+
+It additionally wires up the **optional** native similarity kernels
+(:mod:`repro._native`): when cffi is importable at build time — and
+``REPRO_NATIVE_BUILD`` is not ``0`` — the ``repro._native._kernels``
+extension is compiled from ``src/repro/_native/build_native.py`` with a
+plain C toolchain.  When cffi is missing the install proceeds
+extension-free and the pure-Python tiers stay in charge; a box that has
+the cffi wheel but **no C compiler** should set ``REPRO_NATIVE_BUILD=0``
+to skip the extension (setuptools would otherwise abort the install when
+the compiler invocation fails).  The tree imports and passes its test
+suite either way.  An installed/checked-out tree can also build the
+extension in place later with::
+
+    PYTHONPATH=src python -m repro._native.build_native
 """
+
+import os
 
 from setuptools import setup
 
-setup()
+kwargs = {}
+if os.environ.get("REPRO_NATIVE_BUILD", "1").lower() not in (
+    "0",
+    "false",
+    "no",
+    "off",
+):
+    try:
+        import cffi  # noqa: F401 - probe only
+
+        kwargs["cffi_modules"] = [
+            "src/repro/_native/build_native.py:ffibuilder"
+        ]
+    except ImportError:
+        pass
+
+setup(**kwargs)

@@ -1,0 +1,268 @@
+"""Optional compiled kernels for the similarity/selection hot loops.
+
+This package hosts the **native tier** of the three-tier similarity
+dispatch (native → numpy → set-algebra, see
+:mod:`repro.core.similarity`): a small C extension, built with cffi from
+:mod:`repro._native.build_native`, that scores packed candidate pools and
+performs the merge trim / argmax selections at C speed.
+
+The extension is strictly optional:
+
+* when the compiled module is absent (no C toolchain, fresh checkout), the
+  loader reports "unavailable" and every caller stays on the pure-Python
+  tiers — the tree imports and passes its test suite without a compiler;
+* ``REPRO_NATIVE=0`` (or :func:`set_native_kernel` /
+  :func:`native_kernel`) disables the native tier even when the extension
+  is built, which the equivalence tests use to prove all tiers produce
+  bitwise-identical outcomes.
+
+Build in place (writes ``_kernels.*.so`` next to this file)::
+
+    PYTHONPATH=src python -m repro._native.build_native
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "NativeKernel",
+    "load",
+    "ensure_built",
+    "native_available",
+    "native_kernel_enabled",
+    "set_native_kernel",
+    "native_kernel",
+    "kernel",
+]
+
+
+class NativeKernel:
+    """Thin marshaling wrapper around the compiled cffi module.
+
+    All entry points take C-contiguous numpy arrays (``uint64`` ids,
+    ``int64`` offsets/keys, ``float64`` scores) and return fresh numpy
+    arrays; zero-copy ``from_buffer`` views are passed to C, so no array
+    contents are ever copied for a call.
+    """
+
+    __slots__ = ("ffi", "lib")
+
+    def __init__(self, module) -> None:
+        self.ffi = module.ffi
+        self.lib = module.lib
+
+    # -- buffer helpers ----------------------------------------------------
+
+    def _i64(self, arr: np.ndarray):
+        if arr.size == 0:
+            return self.ffi.NULL
+        return self.ffi.from_buffer("int64_t[]", arr)
+
+    def _f64(self, arr: np.ndarray):
+        if arr.size == 0:
+            return self.ffi.NULL
+        return self.ffi.from_buffer("double[]", arr)
+
+    # -- object-walking kernels --------------------------------------------
+
+    def score_profiles(
+        self, owner, profiles: list, code: int
+    ) -> np.ndarray | None:
+        """Scores of a pool (a *list* of profile-likes) against *owner*.
+
+        ``code`` is a metric/orientation code from the table in
+        :mod:`repro._native.build_native`.  Returns ``None`` when any pool
+        member cannot take the native path (missing packed descriptor,
+        non-binary profile under a binary fast-path code) — the caller
+        falls back to the numpy / set-algebra tiers.
+
+        The objects are walked inside C while the GIL is held; ``id()``
+        hands over borrowed pointers to objects the caller keeps alive for
+        the duration of the call.
+        """
+        k = len(profiles)
+        out = np.empty(k, dtype=np.float64)
+        if k == 0:
+            return out
+        rc = self.lib.whatsup_score_profiles(
+            id(owner), id(profiles), code, self._f64(out)
+        )
+        return out if rc >= 0 else None
+
+    def merge_rank(
+        self, owner, entries: list, code: int, capacity: int
+    ) -> np.ndarray | None:
+        """The fused Vicinity merge inner loop: score + ranked trim.
+
+        Scores every :class:`~repro.gossip.views.ViewEntry` in *entries*
+        against *owner* and returns the indices of the top-*capacity*
+        entries in descending ``(score, timestamp, -node_id)`` order — the
+        exact total order (and hence kept set *and* kept dict order) of
+        the Python trim.  ``None`` → caller falls back.
+        """
+        k = len(entries)
+        out = np.empty(min(int(capacity), k), dtype=np.int64)
+        if k == 0:
+            return out
+        kept = self.lib.whatsup_merge_rank(
+            id(owner), id(entries), code, capacity, self._i64(out)
+        )
+        if kept < 0:
+            return None
+        return out[:kept]
+
+    def item_argmax(
+        self, item, profiles: list, code: int
+    ) -> np.ndarray | None:
+        """Fused dislike orientation: tie indices of the best chooser.
+
+        Scores *item* (real-valued profile, candidate side) against the
+        binary chooser pool and returns the ascending indices tied for the
+        maximum — the same tie set ``flatnonzero(scores == scores.max())``
+        yields, so the caller's uniform tie-break consumes identical RNG
+        draws.  ``None`` → caller falls back.
+        """
+        k = len(profiles)
+        out = np.empty(k, dtype=np.int64)
+        if k == 0:
+            return out
+        n = self.lib.whatsup_item_argmax(
+            id(item), id(profiles), code, self._i64(out)
+        )
+        if n < 0:
+            return None
+        return out[:n]
+
+    # -- array-based selection kernels -------------------------------------
+
+    def rank_topk(
+        self,
+        scores: np.ndarray,
+        timestamps: np.ndarray,
+        node_ids: np.ndarray,
+        capacity: int,
+    ) -> np.ndarray | None:
+        """Indices of the top-*capacity* rows in descending
+        ``(score, timestamp, -node_id)`` order, or ``None`` on failure."""
+        k = scores.size
+        out = np.empty(min(capacity, k), dtype=np.int64)
+        kept = self.lib.whatsup_rank_topk(
+            self._f64(scores),
+            self._i64(timestamps),
+            self._i64(node_ids),
+            k,
+            capacity,
+            self._i64(out),
+        )
+        if kept < 0:
+            return None  # pragma: no cover - malloc failure
+        return out[:kept]
+
+    def argmax_ties(self, scores: np.ndarray) -> np.ndarray:
+        """Ascending indices of every entry equal to ``scores.max()``."""
+        k = scores.size
+        out = np.empty(k, dtype=np.int64)
+        n = self.lib.whatsup_argmax_ties(self._f64(scores), k, self._i64(out))
+        return out[:n]
+
+
+#: memoised load result: unset / NativeKernel / None (= unavailable)
+_UNSET = object()
+_loaded: object = _UNSET
+
+
+def load() -> NativeKernel | None:
+    """The wrapped compiled module, or ``None`` when it is not built."""
+    global _loaded
+    if _loaded is _UNSET:
+        try:
+            from repro._native import _kernels  # type: ignore[attr-defined]
+        except ImportError:
+            _loaded = None
+        else:
+            _loaded = NativeKernel(_kernels)
+    return _loaded  # type: ignore[return-value]
+
+
+def ensure_built(verbose: bool = False) -> NativeKernel | None:
+    """Load the extension, building it in place first if necessary.
+
+    Requires cffi and a C toolchain; returns ``None`` (never raises) when
+    either is missing, leaving the Python tiers in charge.
+    """
+    global _loaded
+    kernel_mod = load()
+    if kernel_mod is not None:
+        return kernel_mod
+    try:
+        from repro._native.build_native import build_inplace
+    except ImportError:
+        return None
+    if build_inplace(verbose=verbose) is None:
+        return None
+    _loaded = _UNSET
+    return load()
+
+
+def native_available() -> bool:
+    """Whether the compiled extension is importable."""
+    return load() is not None
+
+
+#: the user-facing gate: ``REPRO_NATIVE=0`` disables the native tier even
+#: when the extension is built; the tier is also auto-disabled (regardless
+#: of this flag) whenever the extension is absent
+_native_enabled = os.environ.get("REPRO_NATIVE", "1").lower() not in (
+    "0",
+    "false",
+    "no",
+    "off",
+)
+
+
+def native_kernel_enabled() -> bool:
+    """Whether the native tier is active (gate on *and* extension built)."""
+    return _native_enabled and load() is not None
+
+
+def set_native_kernel(enabled: bool) -> bool:
+    """Set the native-tier gate; returns the previous gate value.
+
+    Enabling the gate on a tree without the compiled extension is a no-op
+    in effect: :func:`native_kernel_enabled` stays ``False`` until the
+    extension is built (graceful degradation, not an error).
+    """
+    global _native_enabled
+    previous = _native_enabled
+    _native_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def native_kernel(enabled: bool):
+    """Context manager pinning the native gate, restoring it on exit.
+
+    The restore-guarded form of :func:`set_native_kernel` — tests and
+    benchmarks use this so a failure inside the block cannot leak the
+    setting into unrelated code.
+    """
+    previous = set_native_kernel(enabled)
+    try:
+        yield
+    finally:
+        set_native_kernel(previous)
+
+
+def kernel() -> NativeKernel | None:
+    """The hot-path accessor: the kernel when the native tier is active.
+
+    Returns ``None`` when the gate is off or the extension is missing, so
+    call sites dispatch with one cheap truthiness check.
+    """
+    if not _native_enabled:
+        return None
+    return load()

@@ -26,9 +26,11 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro._native import kernel as _native
 from repro.core.config import WhatsUpConfig
 from repro.core.news import ItemCopy
 from repro.core.similarity import (
+    NATIVE_MIN_PAIRS,
     VECTOR_MIN_PAIRS,
     MetricFn,
     PackedPool,
@@ -158,23 +160,60 @@ class BeepForwarder:
             # candidate side ("c") of the asymmetric metric, the RPS peers
             # the choosers.  Scores come out in stable view order; the
             # scalar path below scores the same order, so both paths pick
-            # identical targets from identical rng draws.  Small pools use
-            # the specialised set-algebra loop; large ones the numpy
-            # kernel over packed arrays (amortised per view generation).
+            # identical targets from identical rng draws.  On the native
+            # tier the paper's fanout of 1 runs fully fused (scoring +
+            # argmax + tie detection in one C call over the memoised pool
+            # — same tie set, hence identical rng draws); otherwise tiny
+            # pools use the specialised set-algebra loop and large ones
+            # the packed numpy kernel (amortised per view generation).
             entries = self._view_pool(rps_view)
-            large = len(entries) >= VECTOR_MIN_PAIRS
+            n_entries = len(entries)
+            nk = _native()
+            fused_failed = False
+            if (
+                nk is not None
+                and k == 1
+                and n_entries >= NATIVE_MIN_PAIRS
+                and self._pool_binary
+                and not getattr(item_profile, "is_binary", False)
+                and self.metric_name in ("wup", "cosine")
+            ):
+                tied = nk.item_argmax(
+                    item_profile,
+                    self._pool_profiles,
+                    5 if self.metric_name == "wup" else 6,
+                )
+                if tied is not None:
+                    pick = (
+                        int(tied[0])
+                        if tied.size == 1
+                        else int(tied[int(self.rng.integers(tied.size))])
+                    )
+                    return [entries[pick].node_id]
+                # a pool member the kernel cannot resolve — a second C
+                # walk of the same pool would fail identically, so stay
+                # on the Python tiers for this call
+                fused_failed = True
+            use_pool = n_entries >= VECTOR_MIN_PAIRS or (
+                n_entries >= NATIVE_MIN_PAIRS
+                and nk is not None
+                and not fused_failed
+            )
             if (
                 self.metric_name == "wup"
                 and self._pool_binary
                 and not getattr(item_profile, "is_binary", False)
-                and not large
+                and not use_pool
             ):
                 scores = wup_pool_vs_item(self._pool_profiles, item_profile)
             else:
                 if self._pool is None:
                     self._pool = PackedPool(self._pool_profiles)
                 scores = self._pool.score(
-                    pack_profile(item_profile), self.metric_name, "c"
+                    pack_profile(item_profile),
+                    self.metric_name,
+                    "c",
+                    allow_native=not fused_failed,
                 )
         else:
             entries = rps_view.entries()
@@ -194,7 +233,13 @@ class BeepForwarder:
             # the paper's operating point: a single argmax with a uniform
             # draw among exact ties (fresh all-zero profiles stay reachable)
             if isinstance(scores, np.ndarray):
-                tied = np.flatnonzero(scores == scores.max())
+                nk = _native()
+                if nk is not None:
+                    # compiled selection; same tie set as the numpy form
+                    # below, hence identical rng draws
+                    tied = nk.argmax_ties(scores)
+                else:
+                    tied = np.flatnonzero(scores == scores.max())
                 pick = (
                     int(tied[0])
                     if tied.size == 1
@@ -284,13 +329,16 @@ class BeepForwarder:
         k_dislike = min(config.f_dislike, rps_len)
 
         # pass 1 (pure): fused orientation scores for the disliked copies.
-        # Only engaged for genuinely large RPS pools — the same adaptive
-        # crossover as the scoring kernel (numpy's fixed per-call overhead
-        # loses to the memoised set-algebra loop at the paper's view size
-        # of 30, where dislike_targets already amortises its packed pool
-        # per view generation).
+        # Only engaged for genuinely large RPS pools on the numpy tier
+        # (its fixed per-call overhead loses to the memoised set-algebra
+        # loop at the paper's view size of 30, where dislike_targets
+        # already amortises its packed pool per view generation).  On the
+        # native tier this pre-pass is skipped entirely: per-copy
+        # dislike_targets runs the fully fused C argmax against the same
+        # memoised pool, in the same arrival order — same scores, same
+        # rng draws, no batch bookkeeping.
         scores_for: dict[int, np.ndarray] = {}
-        if k_dislike >= 1 and rps_len >= VECTOR_MIN_PAIRS:
+        if k_dislike >= 1 and rps_len >= VECTOR_MIN_PAIRS and _native() is None:
             pending = [
                 copy
                 for (copy, _via), liked in zip(fresh, liked_flags)

@@ -101,8 +101,11 @@ def bootstrap_from_contact(
     joiner.rps.view.trim_random(joiner.rps.rng)
     joiner.wup.view.upsert_all(contact.wup.view.entries())
     # the joiner's profile is empty: any trim ranking is degenerate, so keep
-    # the contact's entries as-is (capacity-bounded)
-    joiner.wup.view.trim_random(joiner.rps.rng)
+    # the contact's entries as-is (capacity-bounded).  The trim draws from
+    # the *WUP* stream: each protocol owns its randomness, so a cold-start
+    # join never perturbs the RPS draw sequence (RNG hygiene — the two
+    # streams stay independently reproducible).
+    joiner.wup.view.trim_random(joiner.wup.rng)
 
     # the contact itself is a valid first neighbour
     contact_entry = contact.rps.descriptor(contact.profile.snapshot(), now)

@@ -95,6 +95,32 @@ class ProfileEntry(NamedTuple):
     score: float
 
 
+def _native_descriptor(
+    liked_ids: np.ndarray,
+    rated_ids: np.ndarray,
+    rated_scores: np.ndarray,
+    norm: float,
+    is_binary: bool,
+) -> tuple:
+    """The ``_nd`` descriptor tuple the native kernels read.
+
+    Layout (see ``prof_desc`` in :mod:`repro._native.build_native`):
+    ``(is_binary, liked_ptr, n_liked, rated_ptr, n_rated, scores_ptr,
+    norm)``.  The raw addresses alias the packed arrays, so the descriptor
+    is only valid while its owning pack object keeps them alive — which
+    the pack does, by construction, for its whole lifetime.
+    """
+    return (
+        1 if is_binary else 0,
+        liked_ids.ctypes.data,
+        liked_ids.size,
+        rated_ids.ctypes.data,
+        rated_ids.size,
+        rated_scores.ctypes.data,
+        float(norm),
+    )
+
+
 class PackedView:
     """Sorted packed arrays of a mutable profile at one mutation version.
 
@@ -102,6 +128,9 @@ class PackedView:
     :class:`FrozenProfile` snapshots, for profiles that cannot be frozen
     cheaply (live :class:`ItemProfile` copies in BEEP's orientation path).
     ``uid`` is ``None``: there is no stable identity to cache scores under.
+    ``_nd`` is the native-kernel descriptor, ``None`` until first native
+    contact (the compiled kernels call :meth:`_pack` themselves, so the
+    pure-Python tiers never pay for it).
 
     Instances are memoised per mutation version by :meth:`Profile.packed`
     and *shared across copy-on-write clones* — a disliked item forwarded
@@ -109,7 +138,15 @@ class PackedView:
     against each hop's RPS pool from the same arrays.
     """
 
-    __slots__ = ("liked_ids", "rated_ids", "rated_scores", "norm", "is_binary", "uid")
+    __slots__ = (
+        "liked_ids",
+        "rated_ids",
+        "rated_scores",
+        "norm",
+        "is_binary",
+        "uid",
+        "_nd",
+    )
 
     def __init__(self, profile: "Profile") -> None:
         scores = profile._scores
@@ -123,6 +160,17 @@ class PackedView:
         self.norm = profile.norm
         self.is_binary = profile.is_binary
         self.uid = None
+        self._nd: tuple | None = None
+
+    def _pack(self) -> None:
+        """Fill the native descriptor (called by the C kernels on demand)."""
+        self._nd = _native_descriptor(
+            self.liked_ids,
+            self.rated_ids,
+            self.rated_scores,
+            self.norm,
+            self.is_binary,
+        )
 
 
 class Profile:
@@ -337,6 +385,7 @@ class FrozenProfile:
         "_liked_ids",
         "_rated_ids",
         "_rated_scores",
+        "_nd",
         "wire_cache",
     )
 
@@ -364,6 +413,9 @@ class FrozenProfile:
         self._liked_ids: np.ndarray | None = None
         self._rated_ids: np.ndarray | None = None
         self._rated_scores: np.ndarray | None = None
+        #: native-kernel descriptor; ``None`` until :meth:`_pack` runs (the
+        #: compiled kernels call ``_pack`` themselves on first contact)
+        self._nd: tuple | None = None
         #: memo slot for the modelled wire size of descriptors carrying
         #: this snapshot (filled by repro.gossip.views.descriptor_wire_size)
         self.wire_cache: int | None = None
@@ -378,6 +430,9 @@ class FrozenProfile:
         self._rated_ids = ids
         self._rated_scores = vals
         self._liked_ids = ids[vals > 0.0]
+        self._nd = _native_descriptor(
+            self._liked_ids, ids, vals, self.norm, self.is_binary
+        )
 
     @property
     def liked_ids(self) -> np.ndarray:

@@ -52,21 +52,52 @@ module also provides:
   id, candidate version, metric, orientation)`` tuple and can never serve a
   stale score after either profile changes.
 
+Three-tier dispatch
+-------------------
+Pool scoring resolves through three tiers, checked in order:
+
+1. **native** — the compiled C kernels of :mod:`repro._native`
+   (sorted-array merge walks over the packed snapshots, plus the merge
+   trim and argmax selections).  Active only when the extension is built
+   *and* ``REPRO_NATIVE`` is not ``0``; absent extensions silently fall
+   through, so a checkout without a C toolchain is never worse off.
+2. **numpy** — the vectorised pass (``searchsorted`` intersections +
+   segmented ``bincount`` sums), engaged past the measured
+   :data:`VECTOR_MIN_PAIRS`/:data:`VECTOR_MIN_ENTRIES` crossover.
+3. **set-algebra** — one Python call per pool with C-speed set
+   intersections per pair (:func:`wup_pool_binary`,
+   :func:`wup_pool_vs_item`), the small-pool workhorse.
+
+All three tiers produce **bitwise-identical** scores (integer set counts;
+weighted sums accumulated in one canonical ascending-packed-id order; the
+same IEEE-754 expression shapes), so the dispatch is invisible to callers.
+
 The batch path can be disabled globally (``REPRO_BATCH_SIM=0`` or
 :func:`set_batch_scoring`), which restores the scalar per-pair path — used
-by the equivalence benchmarks to prove both paths produce identical
-rankings.
+by the equivalence benchmarks to prove all paths produce identical
+rankings.  Tests and benchmarks should prefer the restore-guarded context
+managers (:func:`batch_scoring`, :func:`scoring_disabled`,
+:func:`repro._native.native_kernel`) over the raw setters, so a failure
+inside a block cannot leak a global into unrelated code.
 """
 
 from __future__ import annotations
 
 import math
 import os
+from contextlib import contextmanager
 from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.core.profiles import FrozenProfile, pack_id_array
+from repro._native import kernel as _native
+from repro._native import (
+    native_available,
+    native_kernel,
+    native_kernel_enabled,
+    set_native_kernel,
+)
+from repro.core.profiles import FrozenProfile, _native_descriptor, pack_id_array
 from repro.utils.exceptions import ConfigurationError
 
 __all__ = [
@@ -86,6 +117,12 @@ __all__ = [
     "default_score_cache",
     "batch_scoring_enabled",
     "set_batch_scoring",
+    "batch_scoring",
+    "scoring_disabled",
+    "native_available",
+    "native_kernel",
+    "native_kernel_enabled",
+    "set_native_kernel",
     "pairwise_cosine",
     "pairwise_wup",
     "similarity_matrix",
@@ -324,12 +361,37 @@ def set_batch_scoring(enabled: bool) -> bool:
 
     The scalar fallback produces identical rankings (and, for the canonical
     summation order, identical scores); the switch exists for equivalence
-    benchmarks and debugging.
+    benchmarks and debugging.  Prefer the :func:`batch_scoring` context
+    manager outside hot paths — it restores the previous setting even when
+    the guarded block raises.
     """
     global _batch_enabled
     previous = _batch_enabled
     _batch_enabled = bool(enabled)
     return previous
+
+
+@contextmanager
+def batch_scoring(enabled: bool):
+    """Context manager pinning the batch-scoring gate, restoring on exit."""
+    previous = set_batch_scoring(enabled)
+    try:
+        yield
+    finally:
+        set_batch_scoring(previous)
+
+
+@contextmanager
+def scoring_disabled():
+    """Force the scalar per-pair scoring path inside the block.
+
+    Turns off both the batch gate and the native gate and restores the
+    previous settings on exit — the restore-guarded way for tests and
+    benchmarks to exercise the reference scalar path without poisoning
+    module globals for the rest of the process.
+    """
+    with batch_scoring(False), native_kernel(False):
+        yield
 
 
 class ScoreCache:
@@ -437,6 +499,39 @@ VECTOR_MIN_ENTRIES = 4096
 #: engages once the owner profile is big enough for hits to pay.
 CACHE_MIN_OWNER_ENTRIES = 16
 
+#: The native tier's crossover: a kernel call carries a few µs of fixed
+#: overhead (cffi dispatch, result-array allocation, first-contact packing
+#: of fresh snapshots), which the C merge walks only amortise once the
+#: pool is a handful of candidates deep.  Below this the set-algebra loops
+#: win; the protocols' real pools (RPS views of 30, merge pools of 40-70)
+#: sit comfortably above it.
+NATIVE_MIN_PAIRS = 8
+
+
+def _native_pool_code(name: str, role: str, owner_binary: bool) -> int | None:
+    """The native kernel's metric/orientation code, or ``None``.
+
+    Mirrors the C ``score_pair`` switch in
+    :mod:`repro._native.build_native`: binary fast paths for ``wup`` /
+    ``cosine`` (codes 0–2), liked-set metrics for any profiles (3–4), and
+    the item-orientation codes for a real-valued owner on the candidate
+    side (5–6).  ``None`` means "shape not implemented natively" and sends
+    the call to the numpy / set-algebra tiers.
+    """
+    if name == "wup":
+        if role == "n":
+            return 0 if owner_binary else None
+        return 1 if owner_binary else 5
+    if name == "cosine":
+        if owner_binary:
+            return 2
+        return 6 if role == "c" else None
+    if name == "jaccard":
+        return 3
+    if name == "overlap":
+        return 4
+    return None
+
 
 class _EphemeralPack:
     """Packed arrays for a *mutable* profile (built per call, not cached).
@@ -449,7 +544,15 @@ class _EphemeralPack:
     the same live object.
     """
 
-    __slots__ = ("liked_ids", "rated_ids", "rated_scores", "norm", "is_binary", "uid")
+    __slots__ = (
+        "liked_ids",
+        "rated_ids",
+        "rated_scores",
+        "norm",
+        "is_binary",
+        "uid",
+        "_nd",
+    )
 
     def __init__(self, profile: ProfileLike) -> None:
         scores = profile.scores
@@ -463,6 +566,18 @@ class _EphemeralPack:
         self.norm = profile.norm
         self.is_binary = bool(getattr(profile, "is_binary", False))
         self.uid = None
+        #: native descriptor, filled by the C kernels on first contact
+        self._nd: tuple | None = None
+
+    def _pack(self) -> None:
+        """Fill the native descriptor (called by the C kernels on demand)."""
+        self._nd = _native_descriptor(
+            self.liked_ids,
+            self.rated_ids,
+            self.rated_scores,
+            self.norm,
+            self.is_binary,
+        )
 
 
 def _pack(profile: ProfileLike):
@@ -592,14 +707,43 @@ class PackedPool:
 
     # -- scoring ----------------------------------------------------------
 
-    def score(self, owner, name: str, role: str) -> np.ndarray:
-        """Vectorised scores of this pool against a packed *owner*.
+    def score_native(self, owner, name: str, role: str) -> np.ndarray | None:
+        """Native-tier scores of this pool, or ``None`` when inapplicable.
 
-        Bitwise-equal to the scalar metrics: counts are exact integers and
-        the weighted sums accumulate in the scalar general path's canonical
-        ascending-id order (``bincount`` adds left-to-right and every
-        segment's entries are sorted by id).
+        One C call walks the pool's profile objects through their cached
+        packed descriptors (see :mod:`repro._native.build_native`) —
+        applicability mirrors the shapes the kernels implement: binary
+        pools for ``wup``/``cosine`` (with a binary owner in either role,
+        or a real-valued owner in the candidate role — BEEP's
+        orientation), any pool for the liked-set metrics
+        ``jaccard``/``overlap``.  Everything else falls through to the
+        numpy tier.  Returns exactly the scalar metrics' bits.
         """
+        nk = _native()
+        if nk is None:
+            return None
+        code = _native_pool_code(name, role, bool(owner.is_binary))
+        if code is None:
+            return None
+        return nk.score_profiles(owner, self.profiles, code)
+
+    def score(
+        self, owner, name: str, role: str, *, allow_native: bool = True
+    ) -> np.ndarray:
+        """Scores of this pool against a packed *owner* (native or numpy).
+
+        Dispatches to the native tier first (:meth:`score_native`), then
+        the vectorised numpy pass.  Callers that just watched a native
+        walk of this very pool fail pass ``allow_native=False`` to skip
+        the doomed retry.  Bitwise-equal to the scalar metrics: counts
+        are exact integers and the weighted sums accumulate in the scalar
+        general path's canonical ascending-id order (``bincount`` adds
+        left-to-right and every segment's entries are sorted by id).
+        """
+        if allow_native:
+            native_scores = self.score_native(owner, name, role)
+            if native_scores is not None:
+                return native_scores
         k = self.k
         out = np.zeros(k, dtype=np.float64)
 
@@ -740,6 +884,11 @@ def wup_items_vs_pool(
     per-segment sorted arrays) — a chooser's explicit dislikes contribute
     exactly-zero terms in the rated formulation, which cannot change any
     accumulated float.
+
+    This is the *numpy-tier* fused pass: with the native tier active the
+    caller (:meth:`~repro.core.beep.BeepForwarder.forward_batch`) skips
+    the pre-pass entirely and scores each copy through the fused C argmax
+    instead, so no native branch lives here.
     """
     liked = pool.liked
     k = pool.k
@@ -807,14 +956,21 @@ def score_candidates(
 
     Notes
     -----
-    The kernel is adaptive: cache hits are served without any scoring; the
-    remaining misses go through the vectorised numpy pass only when the
-    pending work is large enough to amortise its fixed per-call overhead
-    (measured crossover: ≳ :data:`VECTOR_MIN_PAIRS` pairs *and*
-    ≳ :data:`VECTOR_MIN_ENTRIES` profile entries), and through the scalar
-    metrics otherwise.  Both give the same bits — the scalar general path
-    accumulates in the kernel's canonical ascending-id order — so the
-    dispatch is invisible to callers.
+    The kernel dispatches through three tiers (native → numpy →
+    set-algebra).  With the native tier active, pools past
+    :data:`NATIVE_MIN_PAIRS` go straight to the compiled kernels — one C
+    call per pool over the packed arrays — and the score cache is
+    bypassed: a native rescore is cheaper than the per-pair dict traffic
+    a cache consultation costs (and produces the very same bits, so
+    skipping the cache is unobservable).  Otherwise cache hits are served
+    without any scoring and the remaining misses go through the
+    vectorised numpy pass only when the pending work is large enough to
+    amortise its fixed per-call overhead (measured crossover:
+    ≳ :data:`VECTOR_MIN_PAIRS` pairs *and* ≳ :data:`VECTOR_MIN_ENTRIES`
+    profile entries), and through the scalar metrics otherwise.  All
+    tiers give the same bits — the scalar general path accumulates in
+    the kernels' canonical ascending-id order — so the dispatch is
+    invisible to callers.
     """
     if owner_role not in ("n", "c"):
         raise ConfigurationError(
@@ -831,6 +987,19 @@ def score_candidates(
             return [fn(owner, c) for c in cands]
         return [fn(c, owner) for c in cands]
 
+    # the native tier goes first and serves the whole pool in one C call
+    # (bypassing the cache: a native rescore is cheaper than per-pair
+    # dict traffic, and produces the same bits).  Shapes the kernels
+    # cannot serve — unmapped (metric, role, owner-shape) combinations or
+    # pools with an unresolvable member — fall through to the Python
+    # tiers *with* their score cache intact.
+    nk = _native()
+    if nk is not None and k >= NATIVE_MIN_PAIRS:
+        code = _native_pool_code(name, owner_role, _is_binary(owner))
+        if code is not None:
+            native_scores = nk.score_profiles(owner, cands, code)
+            if native_scores is not None:
+                return native_scores.tolist()
     bucket = None
     if cache is not None and len(owner.scores) >= CACHE_MIN_OWNER_ENTRIES:
         owner_f = _frozen_or_none(owner)
@@ -860,11 +1029,9 @@ def score_candidates(
 
     n_pairs = len(to_score)
     sub = cands if n_pairs == k else [cands[i] for i in to_score]
-    if n_pairs >= VECTOR_MIN_PAIRS:
-        work = sum(len(c.scores) for c in sub)
-    else:
-        work = 0
-    if n_pairs >= VECTOR_MIN_PAIRS and work >= VECTOR_MIN_ENTRIES:
+    if n_pairs >= VECTOR_MIN_PAIRS and (
+        sum(len(c.scores) for c in sub) >= VECTOR_MIN_ENTRIES
+    ):
         owner_p = _pack(owner)
         scores = [
             float(s)

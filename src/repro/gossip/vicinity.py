@@ -25,9 +25,11 @@ from typing import Iterable, NamedTuple
 
 import numpy as np
 
+from repro._native import kernel as _native
 from repro.core.similarity import (
     MetricFn,
     ScoreCache,
+    _native_pool_code,
     batch_scoring_enabled,
     default_score_cache,
     get_metric,
@@ -181,10 +183,17 @@ class ClusteringProtocol:
         """Union own view + received + RPS candidates; keep the closest.
 
         Candidate scores use ``metric(own_profile, candidate_profile)`` —
-        the owner is the "chooser" ``n`` of the asymmetric metric.  When the
-        metric is registered, the whole pool is scored in one vectorised
-        pass and unchanged ``(owner version, candidate version)`` pairs are
-        served from the score cache; the scalar per-candidate path produces
+        the owner is the "chooser" ``n`` of the asymmetric metric.  When
+        the metric is registered, the whole pool is scored in one pass
+        through the three-tier dispatch
+        (:func:`~repro.core.similarity.score_candidates`: native C kernel
+        → numpy → set algebra) and the trim selection follows the same
+        dispatch inside :meth:`~repro.gossip.views.View.trim_ranked_aligned`
+        — on the native tier the entire merge inner loop (scoring + trim)
+        runs in compiled code.  Unchanged ``(owner version, candidate
+        version)`` pairs are served from the score cache on the Python
+        tiers (a native rescore is cheaper than the cache's per-pair dict
+        traffic, so the native tier skips it); every tier produces
         bitwise-identical rankings.
         """
         view = self.view
@@ -194,6 +203,18 @@ class ClusteringProtocol:
             return  # nothing to evict: skip scoring entirely
         if self.metric_name is not None and batch_scoring_enabled():
             entries = view.entries()
+            nk = _native()
+            if nk is not None:
+                code = _native_pool_code(
+                    self.metric_name, "n", getattr(profile, "is_binary", False)
+                )
+                if code is not None:
+                    keep = nk.merge_rank(
+                        profile, entries, code, view.capacity
+                    )
+                    if keep is not None:
+                        view.keep_ranked(entries, keep)
+                        return
             scores = score_candidates(
                 profile,
                 [e.profile for e in entries],

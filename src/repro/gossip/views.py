@@ -18,11 +18,13 @@ dead peers.
 from __future__ import annotations
 
 import heapq
+from operator import index as _index
 from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Mapping, NamedTuple
 
 import numpy as np
 
+from repro._native import kernel as _native
 from repro.core.profiles import FrozenProfile
 from repro.utils.exceptions import ConfigurationError
 
@@ -31,6 +33,10 @@ __all__ = ["ViewEntry", "View", "descriptor_wire_size", "shipment_wire_size"]
 #: Modelled wire size of an entry's fixed fields: IPv4 address (4) + node id
 #: (8) + timestamp (8).
 _ENTRY_FIXED_BYTES = 4 + 8 + 8
+
+#: Native ranked-trim crossover: below this many candidate rows the Python
+#: tuple sort beats the kernel call's array-marshaling overhead.
+_NATIVE_TRIM_MIN_ROWS = 16
 
 #: Gossiped profiles travel as compact set digests, not as full triplet
 #: lists: the similarity metrics only need the liked/rated *sets*, so a
@@ -329,6 +335,23 @@ class View:
         self._entries = {e.node_id: e for e in keep}
         self._mutations += 1
 
+    def keep_ranked(
+        self, entries: "list[ViewEntry]", indices: "np.ndarray"
+    ) -> None:
+        """Replace the view's contents with a ranked selection.
+
+        *entries* is the snapshot the caller just scored and *indices* the
+        kept entry indices **in rank order** (best first) — the output of
+        the native ``merge_rank`` kernel.  The rebuilt dict's insertion
+        order matches :meth:`trim_ranked_aligned`'s exactly, which keeps
+        every downstream iteration (sampling, shipping) and hence RNG
+        consumption identical.
+        """
+        self._entries = {
+            entries[i][0]: entries[i] for i in indices.tolist()
+        }
+        self._mutations += 1
+
     def trim_ranked_aligned(
         self, entries: "list[ViewEntry]", scores: "list[float]"
     ) -> None:
@@ -343,10 +366,40 @@ class View:
         (``numpy.lexsort`` and ``heapq.nlargest`` formulations were both
         measured and rejected: slower at the merge pool sizes the
         protocols produce, ~40-70 candidates.)
+
+        With the native tier active (:mod:`repro._native`) the selection
+        runs through the compiled ``rank_topk`` kernel instead — the same
+        descending ``(score, timestamp, -node_id)`` total order (node ids
+        are unique, so the order is deterministic), the same kept set, the
+        same kept *dict order*, hence identical downstream RNG draws.
         """
         k = len(entries)
         if k <= self.capacity:
             return
+        nk = _native()
+        if nk is not None and k >= _NATIVE_TRIM_MIN_ROWS:
+            try:
+                # operator.index rejects non-integer keys (a float
+                # timestamp would otherwise be silently truncated by the
+                # int64 conversion and sort on different keys than the
+                # Python tuple sort below)
+                keep = nk.rank_topk(
+                    np.fromiter(scores, dtype=np.float64, count=k),
+                    np.fromiter(
+                        (_index(e[3]) for e in entries), np.int64, count=k
+                    ),
+                    np.fromiter(
+                        (_index(e[0]) for e in entries), np.int64, count=k
+                    ),
+                    self.capacity,
+                )
+            except (OverflowError, ValueError, TypeError):
+                # exotic timestamps / node ids (non-integers, outside
+                # int64): the Python tuple sort handles arbitrary keys
+                keep = None
+            if keep is not None:
+                self.keep_ranked(entries, keep)
+                return
         rows = sorted(
             (
                 (scores[i], e[3], -e[0], i)

@@ -34,6 +34,13 @@ class ChurnModel:
         Per-cycle probability that an alive node crashes.
     rejoin_after:
         Cycles a crashed node stays down; ``None`` → crashes are permanent.
+        A killed node is down for **at least one full cycle**: revivals are
+        processed at the top of :meth:`apply`, before this cycle's kills,
+        so a node killed at cycle ``t`` revives at
+        ``t + max(1, rejoin_after)`` — ``rejoin_after=0`` means "return at
+        the next cycle", not "never die" (and not, as a naive ``due = now``
+        schedule would silently produce, "never return": cycle ``t``'s
+        revivals have already been popped by the time the kill happens).
     start_cycle:
         First cycle at which churn applies (lets the overlay warm up first).
     protected:
@@ -80,7 +87,9 @@ class ChurnModel:
                 engine.nodes[nid].alive = False
                 self.total_kills += 1
                 if self.rejoin_after is not None:
-                    due = now + self.rejoin_after
+                    # at least one cycle down: this cycle's revivals were
+                    # popped above, so `due = now` would never fire
+                    due = now + max(1, self.rejoin_after)
                     self._revivals.setdefault(due, []).append(nid)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

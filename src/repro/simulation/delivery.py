@@ -28,6 +28,7 @@ both paths and assert identical outcomes.
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -36,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "delivery_batching_enabled",
     "set_delivery_batching",
+    "delivery_batching",
     "split_first_receipts",
 ]
 
@@ -57,12 +59,29 @@ def set_delivery_batching(enabled: bool) -> bool:
 
     The scalar fallback produces identical outcomes (views, profiles,
     delivery logs) at fixed seeds; the switch exists for the equivalence
-    benchmarks, the CI scalar leg and debugging.
+    benchmarks, the CI scalar leg and debugging.  Prefer the
+    :func:`delivery_batching` context manager outside hot paths — it
+    restores the previous setting even when the guarded block raises.
     """
     global _delivery_enabled
     previous = _delivery_enabled
     _delivery_enabled = bool(enabled)
     return previous
+
+
+@contextmanager
+def delivery_batching(enabled: bool):
+    """Context manager pinning the delivery-batching gate, restoring on exit.
+
+    The restore-guarded form of :func:`set_delivery_batching`: one failing
+    test inside the block can no longer leak a scalar/batch pipeline
+    setting into the rest of the suite.
+    """
+    previous = set_delivery_batching(enabled)
+    try:
+        yield
+    finally:
+        set_delivery_batching(previous)
 
 
 def split_first_receipts(

@@ -30,9 +30,12 @@ from repro.core.similarity import (
     VECTOR_MIN_PAIRS,
     ScoreCache,
     available_metrics,
+    batch_scoring,
     default_score_cache,
     get_metric,
     metric_name_of,
+    native_available,
+    native_kernel,
     score_candidates,
     set_batch_scoring,
     wup_similarity,
@@ -343,28 +346,61 @@ class TestTrimRankedScores:
 
 
 class TestEndToEndEquivalence:
-    def test_scalar_and_batch_paths_produce_identical_views(self):
-        def run(batch):
-            previous = set_batch_scoring(batch)
-            default_score_cache().clear()
-            try:
-                dataset = survey_dataset(
-                    n_base_users=60, n_base_items=80, publish_cycles=15, seed=5
-                )
-                system = WhatsUpSystem(dataset, WhatsUpConfig(f_like=6), seed=5)
-                system.engine.run(25)
-            finally:
-                set_batch_scoring(previous)
-            return {
-                n.node_id: (
-                    sorted(n.wup.view.node_ids()),
-                    sorted(n.rps.view.node_ids()),
-                    sorted(n.profile.scores.items()),
-                )
-                for n in system.nodes
-            }
+    """Fixed-seed three-way equivalence: scalar, batch and native tiers."""
 
-        assert run(False) == run(True)
+    @staticmethod
+    def _run(batch: bool, native: bool):
+        # the restore-guarded context managers keep a failure here from
+        # poisoning the module globals for the rest of the suite
+        with batch_scoring(batch), native_kernel(native):
+            default_score_cache().clear()
+            dataset = survey_dataset(
+                n_base_users=60, n_base_items=80, publish_cycles=15, seed=5
+            )
+            system = WhatsUpSystem(dataset, WhatsUpConfig(f_like=6), seed=5)
+            system.engine.run(25)
+        return {
+            n.node_id: (
+                sorted(n.wup.view.node_ids()),
+                sorted(n.rps.view.node_ids()),
+                sorted(n.profile.scores.items()),
+            )
+            for n in system.nodes
+        }
+
+    def test_scalar_and_batch_paths_produce_identical_views(self):
+        assert self._run(False, False) == self._run(True, False)
+
+    def test_batch_toggle_returns_previous(self):
+        first = set_batch_scoring(False)
+        try:
+            assert set_batch_scoring(first) is False
+        finally:
+            set_batch_scoring(first)
+
+    def test_scoring_disabled_pins_and_restores_both_gates(self):
+        from repro.core.similarity import (
+            batch_scoring_enabled,
+            native_kernel_enabled,
+            scoring_disabled,
+        )
+
+        batch_before = batch_scoring_enabled()
+        native_before = native_kernel_enabled()
+        with pytest.raises(RuntimeError):
+            with scoring_disabled():
+                assert not batch_scoring_enabled()
+                assert not native_kernel_enabled()
+                raise RuntimeError("boom")
+        # restored even though the guarded block raised
+        assert batch_scoring_enabled() == batch_before
+        assert native_kernel_enabled() == native_before
+
+    @pytest.mark.skipif(
+        not native_available(), reason="native kernel not built"
+    )
+    def test_native_path_produces_identical_views(self):
+        assert self._run(True, False) == self._run(True, True)
 
 
 class TestEngineCounters:

@@ -257,6 +257,26 @@ class TestChurn:
         assert churn.total_kills >= 3
         assert churn.total_rejoins >= 3
 
+    def test_rejoin_after_zero_revives_next_cycle(self):
+        """``rejoin_after=0`` means "back at the next cycle", not "gone".
+
+        Regression: revivals due *now* are popped before this cycle's
+        kills, so scheduling ``due = now`` parked the node in a bucket
+        that had already been processed — it never returned and
+        ``total_rejoins`` never advanced.  The schedule is now
+        ``now + max(1, rejoin_after)``: at least one full cycle down.
+        """
+        nodes = line_network(3)
+        eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
+        churn = ChurnModel(kill_rate=1.0, rejoin_after=0, start_cycle=0)
+        eng.churn = churn
+        eng.run(1)
+        assert all(not n.alive for n in nodes)
+        churn.kill_rate = 0.0  # stop further kills so revival is observable
+        eng.run(1)
+        assert all(n.alive for n in nodes)
+        assert churn.total_rejoins >= 3
+
     def test_protected_nodes_survive(self):
         nodes = line_network(3)
         eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))

@@ -123,6 +123,34 @@ class TestColdStartCorners:
         # but the contact itself became a neighbour
         assert 1 in joiner.rps.view
 
+    def test_join_trims_wup_view_with_wup_stream_not_rps(self):
+        """RNG hygiene: a cold-start join must not advance the RPS stream.
+
+        The inherited WUP view overflows the joiner's capacity, so its
+        random trim draws — from the *WUP* generator.  The inherited RPS
+        view fits, so no RPS draw is due at all: the RPS stream must come
+        out of the bootstrap in exactly its pre-join state (the historical
+        bug trimmed the WUP view with ``joiner.rps.rng``, silently
+        cross-contaminating the two protocols' draw sequences).
+        """
+        joiner = self._fresh(0, lambda n, i: True)
+        contact = self._fresh(1, lambda n, i: True, seed=2)
+        # overflow the joiner's WUP capacity (2 * f_like = 6) so the WUP
+        # trim must draw; keep the RPS view within its capacity of 30
+        for nid in range(10, 22):
+            profile = FrozenProfile({nid: 1.0}, is_binary=True)
+            contact.wup.view.upsert(ViewEntry(nid, "a", profile, 0))
+        assert len(contact.wup.view.entries()) > joiner.wup.view.capacity
+
+        rps_state_before = joiner.rps.rng.bit_generator.state
+        wup_state_before = joiner.wup.rng.bit_generator.state
+        bootstrap_from_contact(joiner, contact, now=0)
+        assert len(joiner.wup.view) == joiner.wup.view.capacity
+        # the WUP trim consumed WUP randomness...
+        assert joiner.wup.rng.bit_generator.state != wup_state_before
+        # ...and the RPS stream is untouched, draw for draw
+        assert joiner.rps.rng.bit_generator.state == rps_state_before
+
 
 class TestEngineDelayBookkeeping:
     def test_future_inboxes_cleared_after_delivery(self, tiny):
