@@ -12,6 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core import WhatsUpConfig, WhatsUpSystem
+from repro.core.arraystate import array_state
 from repro.core.profiles import FrozenProfile, ItemProfile, UserProfile
 from repro.core.similarity import (
     ScoreCache,
@@ -22,8 +23,12 @@ from repro.core.similarity import (
     wup_similarity,
 )
 from repro.datasets import survey_dataset
+from repro.gossip.rps import RpsProtocol
 from repro.gossip.vicinity import ClusteringProtocol
-from repro.gossip.views import ViewEntry
+from repro.gossip.views import ArrayView, View, ViewEntry
+
+#: the two state-plane backends every bookkeeping primitive is measured on
+PLANES = ["legacy", "array"]
 
 
 def _profile_pair(n_items=120, overlap=0.4, seed=0):
@@ -174,3 +179,163 @@ def test_micro_engine_cycle_throughput(benchmark):
     benchmark.pedantic(one_cycle, rounds=10, iterations=1)
     # >= 11: under --benchmark-disable (CI smoke) pedantic runs one round
     assert system.engine.cycles_run >= 11
+
+
+# --------------------------------------------------------------------------
+# gossip bookkeeping primitives (PR 4 array state plane vs legacy)
+# --------------------------------------------------------------------------
+#
+# These measure the order-pinned state machinery the similarity kernels
+# left as the wall: view merge-dedup, ranked trims, random trims,
+# shipment/wire accounting, per-receipt profile mutation.  Each primitive
+# runs on both state-plane backends; paired medians go to PERFORMANCE.md.
+
+
+def _descriptor_batch(k=17, seed=31, universe=4000, n_items=40):
+    rng = np.random.default_rng(seed)
+    batch = []
+    for nid in rng.choice(400, size=k, replace=False):
+        scores = {
+            int(i): 1.0
+            for i in rng.choice(universe, size=n_items, replace=False)
+        }
+        batch.append(
+            ViewEntry(
+                int(nid),
+                "10.0.0.1",
+                FrozenProfile(scores, is_binary=True),
+                int(rng.integers(0, 30)),
+            )
+        )
+    return batch
+
+
+def _view(plane, capacity=30, owner=999, prefill=30, seed=7):
+    cls = View if plane == "legacy" else ArrayView
+    v = cls(capacity, owner_id=owner)
+    v.upsert_all(_descriptor_batch(prefill, seed=seed))
+    return v
+
+
+@pytest.mark.benchmark(group="micro-bookkeeping")
+@pytest.mark.parametrize("plane", PLANES)
+def test_micro_view_upsert_all(benchmark, plane):
+    # the merge-dedup inner loop: steady-state replacement of a shipped
+    # batch (equal timestamps -> freshest-wins replaces every row)
+    view = _view(plane)
+    batch = _descriptor_batch(17, seed=5)
+    benchmark(view.upsert_all, batch)
+    assert len(view) <= 30 + 17
+
+
+@pytest.mark.benchmark(group="micro-bookkeeping")
+def test_micro_view_upsert_columns_kernel(benchmark):
+    # the columnar shipment path: one state_upsert kernel call (array
+    # plane only; falls back to upsert_all without the extension)
+    with array_state(True):
+        sender = RpsProtocol(1, 30, np.random.default_rng(0))
+        sender.view.upsert_all(_descriptor_batch(30, seed=9))
+        profile = UserProfile()
+        profile.record_opinion(3, 0, True)
+        payload, _wire, cols = sender._shipment(
+            profile.snapshot(), 5, exclude=2
+        )
+        view = _view("array", seed=11)
+        benchmark(view.upsert_columns, payload, cols)
+
+
+@pytest.mark.benchmark(group="micro-bookkeeping")
+@pytest.mark.parametrize("plane", PLANES)
+def test_micro_view_ranked_trim(benchmark, plane):
+    # the clustering merge's trim: 60 candidates -> keep top 20
+    rng = np.random.default_rng(3)
+    base = _descriptor_batch(60, seed=13)
+    scores = [float(s) for s in rng.random(60)]
+
+    def setup():
+        cls = View if plane == "legacy" else ArrayView
+        v = cls(20, owner_id=999)
+        v.upsert_all(base)
+        return (v, v.entries(), list(scores)), {}
+
+    def trim(v, entries, aligned):
+        v.trim_ranked_aligned(entries, aligned)
+        return v
+
+    result = benchmark.pedantic(trim, setup=setup, rounds=40)
+    assert len(result) == 20
+
+
+@pytest.mark.benchmark(group="micro-bookkeeping")
+@pytest.mark.parametrize("plane", PLANES)
+def test_micro_view_trim_random(benchmark, plane):
+    # the RPS merge rule: shrink 47 -> 30 by uniform sample
+    base = _descriptor_batch(47, seed=17)
+    rng = np.random.default_rng(23)
+
+    def setup():
+        cls = View if plane == "legacy" else ArrayView
+        v = cls(30, owner_id=999)
+        v.upsert_all(base)
+        return (v,), {}
+
+    result = benchmark.pedantic(
+        lambda v: (v.trim_random(rng), v)[1], setup=setup, rounds=40
+    )
+    assert len(result) == 30
+
+
+@pytest.mark.benchmark(group="micro-bookkeeping")
+@pytest.mark.parametrize("plane", PLANES)
+def test_micro_shipment_wire_accounting(benchmark, plane):
+    # pricing a full gossip shipment: wire-column sum vs descriptor walk
+    view = _view(plane)
+    result = benchmark(view.wire_size)
+    assert result > 0
+
+
+@pytest.mark.benchmark(group="micro-bookkeeping")
+@pytest.mark.parametrize("plane", PLANES)
+def test_micro_view_oldest(benchmark, plane):
+    # tail peer selection, twice per node per cycle
+    view = _view(plane)
+    result = benchmark(view.oldest)
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="micro-bookkeeping")
+@pytest.mark.parametrize("plane", PLANES)
+def test_micro_profile_integrate(benchmark, plane):
+    # Algorithm 1's addToNewsProfile: fold a liker into the item profile
+    # (steady state: every id present -> the averaging path)
+    with array_state(plane == "array"):
+        rng = np.random.default_rng(29)
+        item = ItemProfile()
+        liker = UserProfile()
+        for iid in rng.choice(20_000, size=150, replace=False):
+            item.set(int(iid), 0, float(rng.random()))
+            liker.set(int(iid), 0, float(rng.integers(0, 2)))
+        item.packed()  # array plane: the journal chain rides along
+        benchmark(item.integrate, liker)
+        assert len(item) == 150
+
+
+@pytest.mark.benchmark(group="micro-bookkeeping")
+@pytest.mark.parametrize("plane", PLANES)
+def test_micro_profile_snapshot_pack(benchmark, plane):
+    # per-opinion profile mutation + scored snapshot: the per-receipt
+    # path (set bumps the version; the snapshot repacks or adopts)
+    with array_state(plane == "array"):
+        rng = np.random.default_rng(37)
+        profile = UserProfile()
+        for iid in rng.choice(20_000, size=200, replace=False):
+            profile.set(int(iid), 0, float(rng.integers(0, 2)))
+        _ = profile.snapshot().rated_ids  # mark the profile as scored
+        target = int(next(iter(profile.scores)))
+
+        def mutate_and_pack():
+            profile.set(target, 1, 1.0)
+            return profile.snapshot().rated_ids
+
+        ids = benchmark(mutate_and_pack)
+        assert ids.size == 200

@@ -25,7 +25,15 @@ Each scenario runs once per pipeline tier:
   per-cycle delivery pipeline (PR 2), native kernels off;
 * **native** — the batch stack with the compiled kernels of
   :mod:`repro._native` on top (PR 3's merge scoring+trim and BEEP
-  fan-out in C).  Skipped with a note when the extension is not built.
+  fan-out in C), on the *legacy* dict/NamedTuple state structures.
+  Skipped with a note when the extension is not built;
+* **array** — the full stack on the array-backed state plane (PR 4:
+  columnar views + journaled packed profiles + the state bookkeeping
+  kernels, ``REPRO_ARRAY_STATE``).
+
+The array and native runs also report the resident footprint of the node
+state (views + profiles, bytes/node via the ``storage_nbytes()`` facade)
+so the columnar layout's memory story is tracked alongside throughput.
 
 The run also verifies that all tiers leave *identical* outcomes after a
 fixed-seed run: WUP and RPS view contents, user profiles, the full
@@ -54,6 +62,7 @@ import time
 from pathlib import Path
 
 from repro.core import WhatsUpConfig, WhatsUpSystem
+from repro.core.arraystate import array_state
 from repro.core.similarity import (
     batch_scoring,
     default_score_cache,
@@ -66,11 +75,12 @@ from repro.simulation.delivery import delivery_batching
 #: benchmark seed (deterministic suite)
 BENCH_SEED = 2
 
-#: pipeline tier -> (batch gate, native gate)
-MODES: dict[str, tuple[bool, bool]] = {
-    "scalar": (False, False),
-    "batch": (True, False),
-    "native": (True, True),
+#: pipeline tier -> (batch gate, native gate, array-state gate)
+MODES: dict[str, tuple[bool, bool, bool]] = {
+    "scalar": (False, False, False),
+    "batch": (True, False, False),
+    "native": (True, True, False),
+    "array": (True, True, True),
 }
 
 #: scenario name -> (scale, dataset, f_like, total cycles)
@@ -104,11 +114,9 @@ SCENARIOS: dict[str, dict] = {
     },
 }
 
-#: the committed PR 2 ``batch_cps`` values — the standing baseline the
-#: PR 3 acceptance ratio is measured against ("≥3× medium-scale
-#: cycles/sec over the committed BENCH_scale_throughput.json baseline on
-#: the native path"); kept inline so a rewritten JSON cannot move its own
-#: goalposts
+#: the committed PR 2 ``batch_cps`` values — the baseline PR 3's
+#: acceptance ratio was measured against; kept inline so a rewritten JSON
+#: cannot move its own goalposts
 PR2_BASELINE_CPS = {
     "small-survey": 27.9672,
     "medium-survey": 5.2897,
@@ -116,10 +124,21 @@ PR2_BASELINE_CPS = {
     "paper-synthetic": 0.6632,
 }
 
-#: scenario -> target native-path speedup over the committed PR 2 baseline
+#: the committed PR 3 ``native_cps`` values — the standing baseline the
+#: PR 4 array-state acceptance ratio ("paired-median ≥1.3× cycles/sec
+#: over the committed PR 3 baseline at medium/paper synthetic scale") is
+#: measured against
+PR3_BASELINE_CPS = {
+    "small-survey": 38.274,
+    "medium-survey": 7.1259,
+    "medium-synthetic": 3.433,
+    "paper-synthetic": 0.7265,
+}
+
+#: scenario -> target array-plane speedup over the committed PR 3 baseline
 ACCEPTANCE_TARGETS = {
-    "medium-survey": 3.0,
-    "medium-synthetic": 3.0,
+    "medium-synthetic": 1.3,
+    "paper-synthetic": 1.3,
 }
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_scale_throughput.json"
@@ -131,17 +150,39 @@ def build_system(spec: dict, seed: int = BENCH_SEED) -> WhatsUpSystem:
     return WhatsUpSystem(dataset, WhatsUpConfig(f_like=spec["f_like"]), seed=seed)
 
 
+def memory_report(system: WhatsUpSystem) -> dict:
+    """Bytes/node of the resident node state (views + profiles).
+
+    Read through the ``storage_nbytes()`` facade, so both state-plane
+    backends are measured identically: the containers each backend owns,
+    excluding the shared entry/snapshot objects.
+    """
+    n = max(1, len(system.nodes))
+    views = 0
+    profiles = 0
+    for node in system.nodes:
+        views += node.rps.view.storage_nbytes()
+        views += node.wup.view.storage_nbytes()
+        profiles += node.profile.storage_nbytes()
+    return {
+        "views_bytes_per_node": round(views / n, 1),
+        "profiles_bytes_per_node": round(profiles / n, 1),
+    }
+
+
 def run_mode(spec: dict, mode: str, seed: int = BENCH_SEED) -> dict:
     """One fresh fixed-seed run of a pipeline tier (see :data:`MODES`).
 
-    The restore-guarded context managers pin the batch/native gates for
-    the run and put the previous settings back even if it raises.
+    The restore-guarded context managers pin the batch/native/array
+    gates for the run and put the previous settings back even if it
+    raises.
     """
-    batch, native = MODES[mode]
+    batch, native, arrays = MODES[mode]
     with (
         batch_scoring(batch),
         delivery_batching(batch),
         native_kernel(native),
+        array_state(arrays),
     ):
         default_score_cache().clear()
         system = build_system(spec, seed)
@@ -149,12 +190,14 @@ def run_mode(spec: dict, mode: str, seed: int = BENCH_SEED) -> dict:
         t0 = time.perf_counter()
         system.engine.run(cycles)
         elapsed = time.perf_counter() - t0
+        memory = memory_report(system)
     return {
         "n_users": len(system.nodes),
         "n_items": system.dataset.n_items,
         "cycles": cycles,
         "elapsed_sec": round(elapsed, 3),
         "cycles_per_sec": round(cycles / elapsed, 4),
+        "memory": memory,
     }
 
 
@@ -184,15 +227,25 @@ def _system_state(system: WhatsUpSystem) -> dict:
 
 
 def check_equivalence(spec: dict, seed: int = BENCH_SEED) -> dict:
-    """Run every pipeline tier at a fixed seed; compare final states."""
-    modes = ["scalar", "batch"] + (["native"] if native_available() else [])
+    """Run every pipeline tier at a fixed seed; compare final states.
+
+    The array mode runs regardless of the extension: without it the
+    array plane falls back to its pure-Python column paths, which must
+    still be bitwise-identical to every other tier.
+    """
+    modes = (
+        ["scalar", "batch"]
+        + (["native"] if native_available() else [])
+        + ["array"]
+    )
     states = {}
     for mode in modes:
-        batch, native = MODES[mode]
+        batch, native, arrays = MODES[mode]
         with (
             batch_scoring(batch),
             delivery_batching(batch),
             native_kernel(native),
+            array_state(arrays),
         ):
             default_score_cache().clear()
             system = build_system(spec, seed)
@@ -267,7 +320,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
         }
         if have_native:
-            print(f"[{name}] native (compiled merge/fan-out kernels) ...")
+            print(f"[{name}] native (compiled kernels, legacy state) ...")
             native = run_mode(spec, "native")
             print(f"[{name}]   {native['cycles_per_sec']} cycles/sec")
             entry["native_cps"] = native["cycles_per_sec"]
@@ -277,14 +330,37 @@ def main(argv: list[str] | None = None) -> int:
             entry["speedup_native_vs_batch"] = round(
                 native["cycles_per_sec"] / batch["cycles_per_sec"], 3
             )
+            entry["memory_legacy"] = native["memory"]
+        else:
+            entry["memory_legacy"] = batch["memory"]
+        print(f"[{name}] array (columnar state plane) ...")
+        array = run_mode(spec, "array")
+        print(f"[{name}]   {array['cycles_per_sec']} cycles/sec")
+        entry["array_cps"] = array["cycles_per_sec"]
+        entry["memory_array"] = array["memory"]
+        entry["speedup_array_vs_batch"] = round(
+            array["cycles_per_sec"] / batch["cycles_per_sec"], 3
+        )
+        if have_native:
+            entry["speedup_array_vs_native"] = round(
+                array["cycles_per_sec"] / native["cycles_per_sec"], 3
+            )
         pre_pr = baselines.get(name, PR2_BASELINE_CPS.get(name))
         if pre_pr:
             entry["pre_pr_baseline_cps"] = pre_pr
             best = entry.get("native_cps", entry["batch_cps"])
             entry["speedup_vs_pre_pr"] = round(best / pre_pr, 3)
+        pr3 = PR3_BASELINE_CPS.get(name)
+        if pr3:
+            entry["pr3_baseline_cps"] = pr3
+            entry["speedup_array_vs_pr3"] = round(
+                array["cycles_per_sec"] / pr3, 3
+            )
         report["scenarios"][name] = entry
 
-    modes_label = "scalar/batch" + ("/native" if have_native else "")
+    modes_label = (
+        "scalar/batch" + ("/native" if have_native else "") + "/array"
+    )
     print(f"[equivalence] {modes_label} on small-survey ...")
     report["equivalence"] = check_equivalence(SCENARIOS["small-survey"])
     print(f"[equivalence]   {report['equivalence']}")
@@ -297,7 +373,7 @@ def main(argv: list[str] | None = None) -> int:
         entry = report["scenarios"].get(scenario)
         if entry is None:
             continue
-        achieved = entry.get("speedup_vs_pre_pr")
+        achieved = entry.get("speedup_array_vs_pr3")
         if achieved is None:
             continue
         acceptance[scenario] = {

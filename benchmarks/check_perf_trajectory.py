@@ -2,8 +2,8 @@
 
 Reads a freshly produced ``bench_scale_throughput.py`` report and the
 committed ``BENCH_scale_throughput.json`` baseline, then compares
-``batch_cps`` — and, when both reports carry it, ``native_cps`` — per
-scenario:
+``batch_cps`` — and, when both reports carry them, ``native_cps`` and the
+array-state-plane ``array_cps`` — per scenario:
 
 * a regression beyond ``--threshold`` (default 25%) **fails** the check for
   scenarios large enough to measure reliably;
@@ -55,7 +55,7 @@ def compare(
         if base is None:
             warnings.append(f"{name}: no baseline entry, skipping")
             continue
-        for key in ("batch_cps", "native_cps"):
+        for key in ("batch_cps", "native_cps", "array_cps"):
             base_cps = base.get(key)
             new_cps = entry.get(key)
             if not base_cps:

@@ -169,6 +169,132 @@ class NativeKernel:
         n = self.lib.whatsup_argmax_ties(self._f64(scores), k, self._i64(out))
         return out[:n]
 
+    # -- array-state plane kernels (ArrayView bookkeeping) -----------------
+    #
+    # These take cached integer addresses of the view's column block and
+    # payload-reference array (the view keeps the backing numpy arrays
+    # alive and refreshes the addresses on reallocation), so a call
+    # marshals nothing — not even a from_buffer view.
+
+    def state_oldest(self, cols_addr: int, stride: int, n: int) -> int:
+        """Slot of the smallest ``(timestamp, node_id)`` key, or ``-1``."""
+        return int(self.lib.whatsup_state_oldest(cols_addr, stride, n))
+
+    def state_find(self, cols_addr: int, stride: int, n: int, nid: int) -> int:
+        """Slot holding node id *nid*, or ``-1``."""
+        return int(self.lib.whatsup_state_find(cols_addr, stride, n, nid))
+
+    def state_upsert(
+        self,
+        cols_addr: int,
+        stride: int,
+        pobj_addr: int,
+        n: int,
+        alloc: int,
+        inc: np.ndarray,
+        inc_stride: int,
+        inc_n: int,
+        entries,
+        owner: int,
+    ) -> tuple[int, int]:
+        """Freshest-wins columnar-shipment merge (``upsert_all`` in C).
+
+        Mutates the view's columns and payload references in place;
+        *entries* (a tuple/list aligned with the incoming columns) is
+        kept alive by this frame for the duration of the call.  Returns
+        ``(new_n, applied_count)``; raises on an allocation overrun —
+        callers reserve capacity first, so that is a broken invariant,
+        not a fallback case.
+        """
+        rc = int(
+            self.lib.whatsup_state_upsert(
+                cols_addr,
+                stride,
+                pobj_addr,
+                n,
+                alloc,
+                self._i64(inc),
+                inc_stride,
+                inc_n,
+                id(entries),
+                owner,
+            )
+        )
+        if rc < 0:
+            raise RuntimeError(
+                "state_upsert: entries shorter than the shipped columns, "
+                "or reserved-column overrun"
+            )
+        return rc >> 32, rc & 0xFFFFFFFF
+
+    def state_select(
+        self,
+        cols_addr: int,
+        stride: int,
+        pobj_addr: int,
+        n: int,
+        sel: np.ndarray,
+        k: int,
+    ) -> bool:
+        """Keep exactly the slots in *sel* (any order), in ``sel`` order.
+
+        Returns ``False`` on scratch-allocation failure (caller falls
+        back to the numpy gather — same result).
+        """
+        rc = self.lib.whatsup_state_select(
+            cols_addr, stride, pobj_addr, n, self._i64(sel), k
+        )
+        return rc >= 0
+
+    def state_trim_drop(
+        self,
+        cols_addr: int,
+        stride: int,
+        pobj_addr: int,
+        n: int,
+        drop: np.ndarray,
+        k_drop: int,
+    ) -> int:
+        """Compact away the slots in *drop*; returns the new count or -1."""
+        return int(
+            self.lib.whatsup_state_trim_drop(
+                cols_addr, stride, pobj_addr, n, self._i64(drop), k_drop
+            )
+        )
+
+    def state_ship(
+        self,
+        cols_addr: int,
+        stride: int,
+        sel: "np.ndarray | None",
+        k: int,
+        excl_slot: int,
+        own_id: int,
+        own_ts: int,
+        own_wire: int,
+        out: np.ndarray,
+    ) -> int:
+        """Assemble a shipment block into *out*; returns its wire total.
+
+        With *sel* the candidate indices are bumped past *excl_slot* in
+        place (the caller reuses them to gather payload references); with
+        ``sel=None`` every slot but *excl_slot* ships.  ``-1`` → some
+        descriptor was unmemoised; the caller prices by walking.
+        """
+        return int(
+            self.lib.whatsup_state_ship(
+                cols_addr,
+                stride,
+                self.ffi.NULL if sel is None else self._i64(sel),
+                k,
+                excl_slot,
+                own_id,
+                own_ts,
+                own_wire,
+                self._i64(out),
+            )
+        )
+
 
 #: memoised load result: unset / NativeKernel / None (= unavailable)
 _UNSET = object()

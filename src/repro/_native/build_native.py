@@ -81,6 +81,25 @@ int64_t whatsup_rank_topk(const double *scores, const int64_t *ts,
     const int64_t *nids, int64_t k, int64_t capacity, int64_t *out);
 
 int64_t whatsup_argmax_ties(const double *scores, int64_t k, int64_t *out);
+
+int64_t whatsup_state_oldest(uintptr_t cols_addr, int64_t stride, int64_t n);
+
+int64_t whatsup_state_find(uintptr_t cols_addr, int64_t stride, int64_t n,
+    int64_t nid);
+
+int64_t whatsup_state_upsert(uintptr_t cols_addr, int64_t stride,
+    uintptr_t pobj_addr, int64_t n, int64_t alloc, const int64_t *inc,
+    int64_t inc_stride, int64_t inc_n, uintptr_t entries_obj, int64_t owner);
+
+int64_t whatsup_state_select(uintptr_t cols_addr, int64_t stride,
+    uintptr_t pobj_addr, int64_t n, const int64_t *sel, int64_t k);
+
+int64_t whatsup_state_trim_drop(uintptr_t cols_addr, int64_t stride,
+    uintptr_t pobj_addr, int64_t n, const int64_t *drop, int64_t k_drop);
+
+int64_t whatsup_state_ship(uintptr_t cols_addr, int64_t stride,
+    int64_t *sel, int64_t k, int64_t excl_slot, int64_t own_id,
+    int64_t own_ts, int64_t own_wire, int64_t *out);
 """
 
 # Metric/orientation codes for the object-walking kernels (mirrored by
@@ -466,6 +485,250 @@ int64_t whatsup_argmax_ties(const double *scores, int64_t k, int64_t *out)
     for (i = 0; i < k; i++)
         if (scores[i] == best) out[n++] = i;
     return n;
+}
+
+/* ---- array-state plane kernels (ArrayView bookkeeping) --------------- */
+
+/* These kernels operate on the ArrayView state plane: a (3, alloc) int64
+ * column block laid out [ids | ts | wire] (row pointers derived from the
+ * base address and the allocation stride) plus an aligned numpy *object*
+ * array holding the ViewEntry payload references.  Addresses are cached
+ * on the view and passed as plain integers — no per-call buffer
+ * marshaling, no per-entry field walks.  Kernels that move payload
+ * references hold the GIL (cffi releases it around calls) and keep the
+ * object column's every-slot-owns-a-reference invariant intact. */
+
+typedef struct { int64_t *ids; int64_t *ts; int64_t *wire; } state_cols;
+
+static state_cols cols_at(uintptr_t addr, int64_t stride)
+{
+    state_cols c;
+    c.ids = (int64_t *)addr;
+    c.ts = c.ids + stride;
+    c.wire = c.ids + 2 * stride;
+    return c;
+}
+
+/* Slot of the entry with the smallest (timestamp, node_id) key — the
+ * gossip tail peer selection.  Returns -1 when the view is empty. */
+int64_t whatsup_state_oldest(uintptr_t cols_addr, int64_t stride, int64_t n)
+{
+    state_cols c = cols_at(cols_addr, stride);
+    int64_t i, best = 0;
+    if (n <= 0) return -1;
+    for (i = 1; i < n; i++) {
+        if (c.ts[i] < c.ts[best] ||
+            (c.ts[i] == c.ts[best] && c.ids[i] < c.ids[best]))
+            best = i;
+    }
+    return best;
+}
+
+/* Slot holding node id `nid`, or -1 — the columnar sibling of a dict
+ * lookup, used by shipment exclusion. */
+int64_t whatsup_state_find(uintptr_t cols_addr, int64_t stride, int64_t n,
+    int64_t nid)
+{
+    const int64_t *ids = (const int64_t *)cols_addr;
+    int64_t i;
+    (void)stride;
+    for (i = 0; i < n; i++)
+        if (ids[i] == nid) return i;
+    return -1;
+}
+
+/* Sequential freshest-wins merge of a columnar shipment — the gossip
+ * upsert_all inner loop.  Incoming rows (columns at inc_addr with their
+ * own stride, payload references in the aligned entries tuple/list) are
+ * processed in order, so in-batch duplicates resolve exactly as the
+ * sequential Python loop does: rows for `owner` are skipped, a row
+ * matching a stored id replaces it in place when its timestamp is >=,
+ * and new ids append.  Payload references move with proper refcounting.
+ * Returns (new_n << 32) | applied_count, or -1 when the entries object
+ * has an unexpected shape or an append would overrun `alloc` (callers
+ * reserve first, so the overrun is a programming error; the caller
+ * raises rather than falling back on a half-applied merge). */
+int64_t whatsup_state_upsert(uintptr_t cols_addr, int64_t stride,
+    uintptr_t pobj_addr, int64_t n, int64_t alloc, const int64_t *inc_base,
+    int64_t inc_stride, int64_t inc_n, uintptr_t entries_obj, int64_t owner)
+{
+    PyGILState_STATE gil = PyGILState_Ensure();
+    state_cols own = cols_at(cols_addr, stride);
+    state_cols inc = cols_at((uintptr_t)inc_base, inc_stride);
+    PyObject **pobj = (PyObject **)pobj_addr;
+    PyObject *seq = (PyObject *)entries_obj;
+    int64_t i, j, applied = 0, rc = -1;
+    int is_tuple;
+    if (PyTuple_Check(seq)) is_tuple = 1;
+    else if (PyList_Check(seq)) is_tuple = 0;
+    else goto done;
+    /* a mispaired entries/cols argument must fail as a Python-level
+     * error, not an out-of-bounds read */
+    if ((is_tuple ? PyTuple_GET_SIZE(seq) : PyList_GET_SIZE(seq)) < inc_n)
+        goto done;
+    for (i = 0; i < inc_n; i++) {
+        int64_t nid = inc.ids[i];
+        PyObject *e, *old;
+        if (nid == owner) continue;
+        for (j = 0; j < n; j++)
+            if (own.ids[j] == nid) break;
+        if (j < n) {
+            if (inc.ts[i] < own.ts[j]) continue;  /* stale: keep ours */
+        } else {
+            if (n >= alloc) goto done;
+            own.ids[n] = nid;
+            j = n;
+            n++;
+        }
+        own.ts[j] = inc.ts[i];
+        own.wire[j] = inc.wire[i];
+        e = is_tuple ? PyTuple_GET_ITEM(seq, i) : PyList_GET_ITEM(seq, i);
+        old = pobj[j];
+        Py_INCREF(e);
+        pobj[j] = e;
+        Py_XDECREF(old);
+        applied++;
+    }
+    rc = (n << 32) | applied;
+done:
+    PyGILState_Release(gil);
+    return rc;
+}
+
+/* Keep exactly the slots listed in sel (k int64 indices, any order) —
+ * the shared backend of compaction (ascending sel: evictions, random
+ * trims) and ranked reordering (rank-order sel: merge trims).  Gathers
+ * through scratch buffers so overlapping moves are safe, releases the
+ * dropped payload references and None-fills the vacated tail slots.
+ * Returns k, or -1 on allocation failure (caller falls back to numpy). */
+int64_t whatsup_state_select(uintptr_t cols_addr, int64_t stride,
+    uintptr_t pobj_addr, int64_t n, const int64_t *sel, int64_t k)
+{
+    PyGILState_STATE gil = PyGILState_Ensure();
+    state_cols c = cols_at(cols_addr, stride);
+    PyObject **pobj = (PyObject **)pobj_addr;
+    int64_t *itmp = NULL;
+    PyObject **otmp = NULL;
+    int64_t i, rc = -1;
+    if (k > 0) {
+        itmp = (int64_t *)malloc((size_t)k * 3 * sizeof(int64_t));
+        otmp = (PyObject **)malloc((size_t)k * sizeof(PyObject *));
+        if (itmp == NULL || otmp == NULL) goto done;
+    }
+    for (i = 0; i < k; i++) {
+        int64_t s = sel[i];
+        itmp[i] = c.ids[s];
+        itmp[k + i] = c.ts[s];
+        itmp[2 * k + i] = c.wire[s];
+        otmp[i] = pobj[s];
+        Py_INCREF(otmp[i]);
+    }
+    for (i = 0; i < n; i++) {
+        PyObject *old = pobj[i];
+        pobj[i] = NULL;
+        Py_XDECREF(old);
+    }
+    for (i = 0; i < k; i++) {
+        c.ids[i] = itmp[i];
+        c.ts[i] = itmp[k + i];
+        c.wire[i] = itmp[2 * k + i];
+        pobj[i] = otmp[i];          /* scratch reference transferred */
+    }
+    for (i = k; i < n; i++) {
+        Py_INCREF(Py_None);
+        pobj[i] = Py_None;
+    }
+    rc = k;
+done:
+    free(itmp);
+    free(otmp);
+    PyGILState_Release(gil);
+    return rc;
+}
+
+/* Random-trim compaction: drop the k_drop slots listed in `drop`, keep
+ * everything else in order.  One forward in-place pass — dropped payload
+ * references are released, kept ones move with their columns, vacated
+ * tail slots are None-filled.  Returns the new row count, or -1 on
+ * allocation failure (caller falls back to the numpy gather). */
+int64_t whatsup_state_trim_drop(uintptr_t cols_addr, int64_t stride,
+    uintptr_t pobj_addr, int64_t n, const int64_t *drop, int64_t k_drop)
+{
+    PyGILState_STATE gil = PyGILState_Ensure();
+    state_cols c = cols_at(cols_addr, stride);
+    PyObject **pobj = (PyObject **)pobj_addr;
+    char *mark;
+    int64_t i, w = 0, rc = -1;
+    mark = (char *)calloc((size_t)(n > 0 ? n : 1), 1);
+    if (mark == NULL) goto done;
+    for (i = 0; i < k_drop; i++) mark[drop[i]] = 1;
+    for (i = 0; i < n; i++) {
+        if (mark[i]) {
+            PyObject *old = pobj[i];
+            pobj[i] = NULL;
+            Py_XDECREF(old);
+        } else {
+            c.ids[w] = c.ids[i];
+            c.ts[w] = c.ts[i];
+            c.wire[w] = c.wire[i];
+            pobj[w] = pobj[i];     /* reference moves forward */
+            w++;
+        }
+    }
+    for (i = w; i < n; i++) {
+        /* these slots' references moved forward or were dropped */
+        Py_INCREF(Py_None);
+        pobj[i] = Py_None;
+    }
+    rc = w;
+done:
+    free(mark);
+    PyGILState_Release(gil);
+    return rc;
+}
+
+/* Assemble a shipment column block: the own-descriptor row followed by k
+ * gathered rows, written to `out` (a (3, k+1) block, stride k+1).  With
+ * sel != NULL the gathered slots are sel[j] (candidate indices, bumped
+ * past excl_slot in place so the caller can reuse them for the payload
+ * gather); with sel == NULL every slot except excl_slot ships, in order.
+ * Returns the summed wire size of the block, or -1 when any descriptor
+ * is unmemoised (the caller prices the message by walking instead). */
+int64_t whatsup_state_ship(uintptr_t cols_addr, int64_t stride,
+    int64_t *sel, int64_t k, int64_t excl_slot, int64_t own_id,
+    int64_t own_ts, int64_t own_wire, int64_t *out)
+{
+    state_cols c = cols_at(cols_addr, stride);
+    int64_t *out_ids = out, *out_ts = out + (k + 1),
+            *out_wire = out + 2 * (k + 1);
+    int64_t j, total = own_wire, s;
+    int bad = own_wire < 0;
+    out_ids[0] = own_id;
+    out_ts[0] = own_ts;
+    out_wire[0] = own_wire;
+    if (sel != NULL) {
+        for (j = 0; j < k; j++) {
+            s = sel[j];
+            if (excl_slot >= 0 && s >= excl_slot) s++;
+            sel[j] = s;            /* caller reuses for the payload gather */
+            out_ids[j + 1] = c.ids[s];
+            out_ts[j + 1] = c.ts[s];
+            out_wire[j + 1] = c.wire[s];
+            if (c.wire[s] < 0) bad = 1; else total += c.wire[s];
+        }
+    } else {
+        int64_t w = 1;
+        int64_t n = k + (excl_slot >= 0 ? 1 : 0);
+        for (s = 0; s < n; s++) {
+            if (s == excl_slot) continue;
+            out_ids[w] = c.ids[s];
+            out_ts[w] = c.ts[s];
+            out_wire[w] = c.wire[s];
+            if (c.wire[s] < 0) bad = 1; else total += c.wire[s];
+            w++;
+        }
+    }
+    return bad ? -1 : total;
 }
 """
 

@@ -101,8 +101,9 @@ class CfNode(BaseNode):
         if kind is MessageKind.RPS:
             return self.rps.handle(msg, snapshot, now)
         if kind is MessageKind.WUP:
+            rps_entries, rps_cols = self.rps.view.entries_with_columns()
             return self.clustering.handle(
-                msg, snapshot, now, rps_entries=self.rps.view.entries()
+                msg, snapshot, now, rps_entries=rps_entries, rps_cols=rps_cols
             )
         return None
 

@@ -1,0 +1,70 @@
+"""The array-state gate: columnar node state vs the legacy structures.
+
+The array-backed state plane (:class:`repro.gossip.views.ArrayView`
+columns, the incremental packed-profile mutation path in
+:mod:`repro.core.profiles`) produces **bitwise-identical** outcomes to the
+legacy dict/NamedTuple structures at fixed seeds — same RNG draws, same
+view contents and order, same packed arrays, same traffic bytes.  The gate
+exists for the equivalence tests, the CI legacy leg and debugging, exactly
+like the sibling gates (``repro.core.similarity.batch_scoring``,
+``repro.simulation.delivery.delivery_batching``,
+``repro._native.native_kernel``).
+
+``REPRO_ARRAY_STATE=0`` restores the legacy structures everywhere.  The
+gate is consulted when state is *created* (view construction, profile
+snapshot/pack maintenance), so toggling it mid-run changes how new state
+is laid out without invalidating existing objects — both layouts implement
+the same facade and interoperate.  For apples-to-apples runs, construct
+and run each system entirely inside one :func:`array_state` block, as the
+equivalence tests do.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+__all__ = [
+    "array_state_enabled",
+    "set_array_state",
+    "array_state",
+]
+
+_array_enabled = os.environ.get("REPRO_ARRAY_STATE", "1").lower() not in (
+    "0",
+    "false",
+    "no",
+    "off",
+)
+
+
+def array_state_enabled() -> bool:
+    """Whether the array-backed state plane is active."""
+    return _array_enabled
+
+
+def set_array_state(enabled: bool) -> bool:
+    """Enable/disable the array state plane; returns the previous setting.
+
+    Prefer the :func:`array_state` context manager outside hot paths — it
+    restores the previous setting even when the guarded block raises.
+    """
+    global _array_enabled
+    previous = _array_enabled
+    _array_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def array_state(enabled: bool):
+    """Context manager pinning the array-state gate, restoring on exit.
+
+    The restore-guarded form of :func:`set_array_state`: one failing test
+    inside the block cannot leak a state-plane setting into the rest of
+    the suite.
+    """
+    previous = set_array_state(enabled)
+    try:
+        yield
+    finally:
+        set_array_state(previous)

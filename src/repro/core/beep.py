@@ -115,8 +115,8 @@ class BeepForwarder:
         """Refresh the memoised pool state for the current view generation."""
         tag = rps_view.mutation_count
         if self._pool_view is not rps_view or tag != self._pool_tag:
-            entries = rps_view.entries()
-            self._pool_entries = entries
+            # one facade walk serves both lists on either state plane
+            self._pool_entries = entries = rps_view.entries()
             self._pool_profiles = [e.profile for e in entries]
             self._pool_binary = all(
                 getattr(p, "is_binary", False) for p in self._pool_profiles

@@ -37,7 +37,8 @@ def popular_items_in_views(node: WhatsUpNode, k: int | None = 3) -> list[int]:
     popularity count is one ``np.unique`` over their concatenation; profiles
     without packed arrays fall back to a Counter sweep.
     """
-    profiles = [entry.profile for entry in node.rps.view.entries()]
+    # the facade accessor works on either state-plane backend
+    profiles = node.rps.view.profiles()
     arrays = [
         p.liked_ids for p in profiles if getattr(p, "liked_ids", None) is not None
     ]
@@ -131,7 +132,8 @@ def bootstrap_from_contact(
         rated.append(iid)
 
     # 3. re-rank the WUP view against the fresh profile
-    joiner.wup.refresh(joiner.profile.snapshot(), joiner.rps.view.entries())
+    rps_entries, rps_cols = joiner.rps.view.entries_with_columns()
+    joiner.wup.refresh(joiner.profile.snapshot(), rps_entries, rps_cols)
     return rated
 
 

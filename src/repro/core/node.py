@@ -136,13 +136,17 @@ class WhatsUpNode(BaseNode):
             return self.rps.handle(msg, shared, now)
         if kind is MessageKind.WUP:
             # Vicinity feeds on the RPS view for fresh candidates; the view
-            # is ranked against the node's *true* interests
+            # is ranked against the node's *true* interests.  On the array
+            # state plane the RPS view hands its columns over alongside the
+            # entries, so the merge-dedup runs column-native end to end.
+            rps_entries, rps_cols = self.rps.view.entries_with_columns()
             return self.wup.handle(
                 msg,
                 shared,
                 now,
-                rps_entries=self.rps.view.entries(),
+                rps_entries=rps_entries,
                 ranking_profile=self.profile.snapshot(),
+                rps_cols=rps_cols,
             )
         return None
 

@@ -30,7 +30,12 @@ from typing import NamedTuple
 
 import numpy as np
 
-from repro.gossip.views import View, ViewEntry, shipment_wire_size
+from repro.gossip.views import (
+    ArrayView,
+    ViewEntry,
+    make_view,
+    shipment_wire_size,
+)
 
 __all__ = ["RpsMessage", "RpsProtocol"]
 
@@ -51,14 +56,28 @@ class RpsMessage(NamedTuple):
     is_request:
         ``True`` for the push half of the exchange; the receiver answers a
         request with a reply (``False``), closing the push–pull.
+    wire:
+        Precomputed :meth:`wire_size`, when the sender's view could price
+        the shipment off its wire column (array state plane); ``None``
+        falls back to the per-descriptor walk.  Both paths produce the
+        same byte count — the sizes are memoised per profile snapshot.
+    cols:
+        The shipped ``(ids, ts, wire)`` columns aligned with *entries*,
+        sliced from the sender's view columns — the receiver's merge
+        consumes them directly (:meth:`ArrayView.upsert_columns`) with no
+        per-entry field marshaling.  ``None`` on the legacy backend.
     """
 
     sender: int
     entries: tuple[ViewEntry, ...]
     is_request: bool
+    wire: int | None = None
+    cols: "tuple | None" = None
 
     def wire_size(self) -> int:
         """Modelled serialized size in bytes (entries + 1-byte flag)."""
+        if self.wire is not None:
+            return self.wire
         return 1 + shipment_wire_size(self.entries)
 
 
@@ -87,7 +106,7 @@ class RpsProtocol:
         address: str | None = None,
     ) -> None:
         self.node_id = node_id
-        self.view = View(view_size, owner_id=node_id)
+        self.view = make_view(view_size, owner_id=node_id)
         self.rng = rng
         self.address = (
             address
@@ -126,8 +145,10 @@ class RpsProtocol:
         partner = self.select_partner()
         if partner is None:
             return None
-        payload = self._shipment(profile, now, exclude=partner)
-        return partner, RpsMessage(self.node_id, payload, is_request=True)
+        payload, wire, cols = self._shipment(profile, now, exclude=partner)
+        return partner, RpsMessage(
+            self.node_id, payload, is_request=True, wire=wire, cols=cols
+        )
 
     # -- passive thread ---------------------------------------------------
 
@@ -140,9 +161,13 @@ class RpsProtocol:
         """
         reply: RpsMessage | None = None
         if msg.is_request:
-            payload = self._shipment(profile, now, exclude=msg.sender)
-            reply = RpsMessage(self.node_id, payload, is_request=False)
-        self.view.upsert_all(msg.entries)
+            payload, wire, cols = self._shipment(
+                profile, now, exclude=msg.sender
+            )
+            reply = RpsMessage(
+                self.node_id, payload, is_request=False, wire=wire, cols=cols
+            )
+        self.view.upsert_columns(msg.entries, msg.cols)
         self.view.trim_random(self.rng)
         return reply
 
@@ -150,15 +175,34 @@ class RpsProtocol:
 
     def _shipment(
         self, profile, now: int, exclude: int
-    ) -> tuple[ViewEntry, ...]:
-        """Own fresh descriptor + a random half of the view.
+    ) -> "tuple[tuple[ViewEntry, ...], int | None, tuple | None]":
+        """Own fresh descriptor + a random half of the view, plus columns.
 
         The partner's own entry is excluded from the shipped half (it learns
         nothing from its own descriptor), matching standard shuffle
-        implementations.
+        implementations.  Returns ``(payload, wire, cols)``: on the array
+        state plane the shipment's ``(ids, ts, wire)`` columns are sliced
+        off the view's own columns and its byte size comes from one wire-
+        column sum; the legacy backend returns ``(payload, None, None)``
+        and the message measures itself by walking descriptors — same
+        bytes either way.
         """
-        candidates = self.view.entries_except(exclude)
-        half = len(self.view) // 2
+        view = self.view
+        half = len(view) // 2
+        if isinstance(view, ArrayView):
+            # columnar path: sample over the candidate *count* (no list is
+            # materialised), then gather the picked slots in one pass
+            cand_count, excl_slot = view.shipment_candidates(exclude)
+            sel = None
+            if half > 0 and cand_count:
+                k = min(half, cand_count)
+                sel = self.rng.permutation(cand_count)[:k]
+            own = self.descriptor(profile, now)
+            shipped, cols, wire = view.ship_selected(
+                sel, excl_slot, own, self.node_id, now
+            )
+            return (own, *shipped), wire, cols
+        candidates = view.entries_except(exclude)
         if half > 0 and candidates:
             k = min(half, len(candidates))
             # a permutation prefix is a uniform sample without replacement
@@ -167,7 +211,7 @@ class RpsProtocol:
             shipped = [candidates[i] for i in idx]
         else:
             shipped = []
-        return (self.descriptor(profile, now), *shipped)
+        return (self.descriptor(profile, now), *shipped), None, None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RpsProtocol(node={self.node_id}, view={len(self.view)})"

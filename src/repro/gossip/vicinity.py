@@ -36,7 +36,12 @@ from repro.core.similarity import (
     metric_name_of,
     score_candidates,
 )
-from repro.gossip.views import View, ViewEntry, shipment_wire_size
+from repro.gossip.views import (
+    ArrayView,
+    ViewEntry,
+    make_view,
+    shipment_wire_size,
+)
 
 __all__ = ["ClusteringMessage", "ClusteringProtocol"]
 
@@ -45,15 +50,21 @@ class ClusteringMessage(NamedTuple):
     """One clustering-layer gossip message (request or reply).
 
     A NamedTuple for the same hot-path construction economics as
-    :class:`~repro.gossip.rps.RpsMessage`.
+    :class:`~repro.gossip.rps.RpsMessage`.  *wire* carries the
+    precomputed byte size when the sender's view priced the shipment off
+    its wire column (array state plane); ``None`` → per-descriptor walk.
     """
 
     sender: int
     entries: tuple[ViewEntry, ...]
     is_request: bool
+    wire: int | None = None
+    cols: "tuple | None" = None
 
     def wire_size(self) -> int:
         """Modelled serialized size in bytes (entries + 1-byte flag)."""
+        if self.wire is not None:
+            return self.wire
         return 1 + shipment_wire_size(self.entries)
 
 
@@ -95,7 +106,7 @@ class ClusteringProtocol:
         cache: ScoreCache | None = None,
     ) -> None:
         self.node_id = node_id
-        self.view = View(view_size, owner_id=node_id)
+        self.view = make_view(view_size, owner_id=node_id)
         self.metric_name = metric_name_of(metric)
         self.metric = get_metric(metric) if isinstance(metric, str) else metric
         self.rng = rng
@@ -135,11 +146,28 @@ class ClusteringProtocol:
         partner = self.select_partner()
         if partner is None:
             return None
-        entries = (
-            self.descriptor(profile, now),
-            *self.view.entries_except(partner),
+        return partner, self._message(profile, now, partner, is_request=True)
+
+    def _message(
+        self, profile, now: int, exclude: int, is_request: bool
+    ) -> ClusteringMessage:
+        """Own fresh descriptor + the whole view but *exclude*, priced.
+
+        On the array state plane the shipment's byte size comes off the
+        view's wire column in one pass; the legacy backend leaves it
+        ``None`` and the message measures itself by walking descriptors.
+        """
+        view = self.view
+        own = self.descriptor(profile, now)
+        if isinstance(view, ArrayView):
+            shipped, cols, wire = view.ship_all_except(
+                exclude, own, self.node_id, now
+            )
+        else:
+            shipped, cols, wire = view.entries_except(exclude), None, None
+        return ClusteringMessage(
+            self.node_id, (own, *shipped), is_request, wire, cols
         )
-        return partner, ClusteringMessage(self.node_id, entries, is_request=True)
 
     # -- passive thread ---------------------------------------------------
 
@@ -150,25 +178,26 @@ class ClusteringProtocol:
         now: int,
         rps_entries: Iterable[ViewEntry] = (),
         ranking_profile=None,
+        rps_cols: "tuple | None" = None,
     ) -> ClusteringMessage | None:
         """Process an incoming message; return the reply for a request.
 
         *profile* is shipped in the reply descriptor; *ranking_profile*
         (default: *profile*) is the merge's ranking reference;
         *rps_entries* is the owner's current RPS view, folded into the
-        candidate pool as Vicinity prescribes.
+        candidate pool as Vicinity prescribes — with *rps_cols* its
+        ``(ids, ts, wire)`` columns when the RPS view is array-backed
+        (:meth:`~repro.gossip.views.ArrayView.entries_with_columns`).
         """
         reply: ClusteringMessage | None = None
         if msg.is_request:
-            entries = (
-                self.descriptor(profile, now),
-                *self.view.entries_except(msg.sender),
-            )
-            reply = ClusteringMessage(self.node_id, entries, is_request=False)
+            reply = self._message(profile, now, msg.sender, is_request=False)
         self.merge(
             ranking_profile if ranking_profile is not None else profile,
             msg.entries,
             rps_entries,
+            received_cols=msg.cols,
+            rps_cols=rps_cols,
         )
         return reply
 
@@ -179,6 +208,9 @@ class ClusteringProtocol:
         profile,
         received: Iterable[ViewEntry],
         rps_entries: Iterable[ViewEntry] = (),
+        *,
+        received_cols: "tuple | None" = None,
+        rps_cols: "tuple | None" = None,
     ) -> None:
         """Union own view + received + RPS candidates; keep the closest.
 
@@ -197,8 +229,8 @@ class ClusteringProtocol:
         bitwise-identical rankings.
         """
         view = self.view
-        view.upsert_all(received)
-        view.upsert_all(rps_entries)
+        view.upsert_columns(received, received_cols)
+        view.upsert_columns(rps_entries, rps_cols)
         if len(view) <= view.capacity:
             return  # nothing to evict: skip scoring entirely
         if self.metric_name is not None and batch_scoring_enabled():
@@ -226,14 +258,19 @@ class ClusteringProtocol:
             metric = self.metric
             view.trim_ranked(lambda e: metric(profile, e.profile))
 
-    def refresh(self, profile, rps_entries: Iterable[ViewEntry]) -> None:
+    def refresh(
+        self,
+        profile,
+        rps_entries: Iterable[ViewEntry],
+        rps_cols: "tuple | None" = None,
+    ) -> None:
         """Re-rank the view against *profile* using only RPS candidates.
 
         Called when the owner's profile changed substantially outside a
         gossip exchange (e.g. after the cold-start bootstrap) so the view
         reflects current interests without waiting a full cycle.
         """
-        self.merge(profile, (), rps_entries)
+        self.merge(profile, (), rps_entries, rps_cols=rps_cols)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ClusteringProtocol(node={self.node_id}, view={len(self.view)})"

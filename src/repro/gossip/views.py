@@ -25,10 +25,18 @@ from typing import Callable, Iterable, Iterator, Mapping, NamedTuple
 import numpy as np
 
 from repro._native import kernel as _native
+from repro.core.arraystate import array_state_enabled
 from repro.core.profiles import FrozenProfile
 from repro.utils.exceptions import ConfigurationError
 
-__all__ = ["ViewEntry", "View", "descriptor_wire_size", "shipment_wire_size"]
+__all__ = [
+    "ViewEntry",
+    "View",
+    "ArrayView",
+    "make_view",
+    "descriptor_wire_size",
+    "shipment_wire_size",
+]
 
 #: Modelled wire size of an entry's fixed fields: IPv4 address (4) + node id
 #: (8) + timestamp (8).
@@ -188,6 +196,15 @@ class View:
         """Identifiers of all peers currently in the view."""
         return list(self._entries.keys())
 
+    def profiles(self) -> list:
+        """The stored peers' profile snapshots, in entry order.
+
+        The facade accessor consumers (BEEP's orientation pool, the
+        cold-start popularity scan) use instead of reaching into entry
+        internals — it survives any storage-backend swap.
+        """
+        return [e[2] for e in self._entry_list()]
+
     def get(self, node_id: int) -> ViewEntry | None:
         """The entry for *node_id*, or ``None``."""
         return self._entries.get(node_id)
@@ -230,6 +247,23 @@ class View:
         if current is None or entry.timestamp >= current.timestamp:
             self._entries[entry.node_id] = entry
             self._mutations += 1
+
+    def upsert_columns(
+        self,
+        entries: "tuple[ViewEntry, ...] | list[ViewEntry]",
+        cols: "object | None" = None,
+    ) -> None:
+        """Merge a shipment; the legacy backend ignores shipped columns.
+
+        The facade twin of :meth:`ArrayView.upsert_columns`: callers hand
+        over whatever the message carried and each backend consumes what
+        it can use.
+        """
+        self.upsert_all(entries)
+
+    def entries_with_columns(self):
+        """``(entries, None)`` — the legacy backend has no columns."""
+        return self._entry_list(), None
 
     def upsert_all(self, entries: Iterable[ViewEntry]) -> None:
         """Bulk :meth:`upsert` (inlined: this runs per merged descriptor).
@@ -425,7 +459,663 @@ class View:
         """Modelled serialized size of the whole view, in bytes."""
         return shipment_wire_size(self._entries.values())
 
+    def storage_nbytes(self) -> int:
+        """In-memory footprint of the view's own containers, in bytes.
+
+        Counts the storage this backend owns (dict + list memo), not the
+        shared :class:`ViewEntry`/profile objects — the facade accessor
+        the memory benchmarks use on either backend.
+        """
+        import sys
+
+        return sys.getsizeof(self._entries) + sys.getsizeof(self._list_cache)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"View(owner={self.owner_id}, size={len(self)}/{self.capacity})"
         )
+
+
+class ArrayView:
+    """Array-backed view storage behind the :class:`View` facade.
+
+    The columnar twin of :class:`View`.  Entries live in one preallocated
+    state block per view:
+
+    * ``_cols`` — a ``(3, alloc)`` ``int64`` block whose rows are the
+      node-id, timestamp and wire-size columns (``_ids``/``_ts``/``_wire``
+      are row views into it);
+    * ``_pobj`` — the payload-reference column: a numpy *object* array
+      holding the :class:`ViewEntry` objects, slot-aligned with the
+      columns.
+
+    The base addresses of both are cached on the view (refreshed on
+    reallocation), so the native bookkeeping kernels
+    (:meth:`~repro._native.NativeKernel.state_upsert`,
+    ``state_select``, ``state_oldest``) receive plain integers and walk
+    the columns — including moving the payload references — entirely in
+    C, with no per-call buffer marshaling and no per-entry field reads.
+
+    Slot order replicates dict insertion-order semantics exactly —
+    replacement keeps the slot, insertion appends, deletion compacts
+    preserving relative order — and every method draws RNG exactly as its
+    :class:`View` counterpart, so a fixed-seed run is **bitwise
+    identical** under either backend (the array-state equivalence tests
+    enforce this end to end).
+
+    Node ids and timestamps must fit ``int64`` (every simulation id is a
+    small int; exotic keys belong on the legacy backend).
+
+    Columnar shipments are described by a ``(ref, stride, count)`` tuple
+    — the backing ``(3, stride)`` array (kept alive by the tuple), its
+    row stride and the number of shipped rows — produced by
+    :meth:`ship_selected` / :meth:`ship_all_except` /
+    :meth:`entries_with_columns` and consumed by :meth:`upsert_columns`.
+    """
+
+    __slots__ = (
+        "capacity",
+        "owner_id",
+        "_n",
+        "_alloc",
+        "_cols",
+        "_ids",
+        "_ts",
+        "_wire",
+        "_pobj",
+        "_cols_addr",
+        "_pobj_addr",
+        "_index",
+        "_index_tag",
+        "_mutations",
+    )
+
+    def __init__(self, capacity: int, owner_id: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"view capacity must be > 0, got {capacity}")
+        self.capacity = int(capacity)
+        self.owner_id = int(owner_id)
+        self._n = 0
+        self._mutations = 0
+        #: id -> slot map, rebuilt lazily when a lookup finds it stale
+        self._index: dict[int, int] = {}
+        self._index_tag: int = -1
+        self._allocate(max(self.capacity + 8, 16))
+
+    # -- internals --------------------------------------------------------
+
+    def _allocate(self, alloc: int) -> None:
+        """(Re)allocate the state block, carrying the live slots over."""
+        cols = np.empty((3, alloc), dtype=np.int64)
+        pobj = np.empty(alloc, dtype=object)
+        n = self._n
+        if n:
+            cols[:, :n] = self._cols[:, :n]
+            pobj[:n] = self._pobj[:n]
+        self._cols = cols
+        self._pobj = pobj
+        self._ids = cols[0]
+        self._ts = cols[1]
+        self._wire = cols[2]
+        self._alloc = alloc
+        self._cols_addr = cols.ctypes.data
+        self._pobj_addr = pobj.ctypes.data
+
+    def _reserve(self, extra: int) -> None:
+        """Grow the state block so ``extra`` appends cannot overrun it."""
+        need = self._n + extra
+        if need > self._alloc:
+            self._allocate(max(self._alloc * 2, need))
+
+    def _ensure_index(self) -> dict[int, int]:
+        """The id→slot map, rebuilt only when a mutation left it stale."""
+        if self._index_tag != self._mutations:
+            self._index = {
+                nid: i for i, nid in enumerate(self._ids[: self._n].tolist())
+            }
+            self._index_tag = self._mutations
+        return self._index
+
+    @staticmethod
+    def _wire_of(entry: ViewEntry) -> int:
+        """Memoised descriptor wire size, or ``-1`` when not memoisable."""
+        profile = entry[2]
+        size = getattr(profile, "wire_cache", None)
+        if size is not None:
+            return size
+        size = descriptor_wire_size(entry)
+        # mutable / foreign profile-likes take no memo: store a sentinel so
+        # wire sums recompute them per call, exactly like the legacy walk
+        if getattr(profile, "wire_cache", None) is None:
+            return -1
+        return size
+
+    def _select(self, sel: np.ndarray) -> None:
+        """Keep exactly the slots in *sel* (any order), in ``sel`` order.
+
+        The shared backend of compaction and ranked reordering: one
+        ``state_select`` kernel call, or the equivalent numpy gather.
+        """
+        k = sel.size
+        n = self._n
+        nk = _native()
+        if nk is None or not nk.state_select(
+            self._cols_addr, self._alloc, self._pobj_addr, n, sel, k
+        ):
+            self._cols[:, :k] = self._cols[:, :n][:, sel]
+            self._pobj[:k] = self._pobj[:n][sel]
+            self._pobj[k:n] = None
+        self._n = k
+        self._mutations += 1
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._ensure_index()
+
+    def __iter__(self) -> Iterator[ViewEntry]:
+        return iter(self._pobj[: self._n].tolist())
+
+    def entries(self) -> list[ViewEntry]:
+        """All entries (insertion order; do not rely on ordering)."""
+        return self._pobj[: self._n].tolist()
+
+    def entries_except(self, exclude: int) -> list[ViewEntry]:
+        """All entries but the one for *exclude* (single column scan)."""
+        n = self._n
+        hits = np.nonzero(self._ids[:n] == exclude)[0]
+        pobj = self._pobj
+        if hits.size == 0:
+            return pobj[:n].tolist()
+        s = int(hits[0])
+        return pobj[:s].tolist() + pobj[s + 1 : n].tolist()
+
+    def profiles(self) -> list:
+        """The stored peers' profile snapshots, in slot order."""
+        return [e[2] for e in self._pobj[: self._n].tolist()]
+
+    def node_ids(self) -> list[int]:
+        """Identifiers of all peers currently in the view."""
+        return self._ids[: self._n].tolist()
+
+    def get(self, node_id: int) -> ViewEntry | None:
+        """The entry for *node_id*, or ``None``."""
+        slot = self._ensure_index().get(node_id)
+        return None if slot is None else self._pobj[slot]
+
+    @property
+    def mutation_count(self) -> int:
+        """Counter bumped on every content change (cache invalidation tag)."""
+        return self._mutations
+
+    def oldest(self) -> ViewEntry | None:
+        """The entry with the smallest ``(timestamp, node_id)`` key.
+
+        The native tier resolves the tail selection in one pass over the
+        columns; the numpy fallback takes a min + tie-scan.  Both produce
+        the same slot as the legacy ``min(entries, key=(ts, nid))``.
+        """
+        n = self._n
+        if n == 0:
+            return None
+        nk = _native()
+        if nk is not None:
+            slot = nk.state_oldest(self._cols_addr, self._alloc, n)
+            if slot >= 0:
+                return self._pobj[slot]
+        ts = self._ts[:n]
+        tied = np.nonzero(ts == ts.min())[0]
+        if tied.size == 1:
+            return self._pobj[int(tied[0])]
+        return self._pobj[int(tied[int(self._ids[tied].argmin())])]
+
+    def is_full(self) -> bool:
+        return self._n >= self.capacity
+
+    # -- shipping ---------------------------------------------------------
+
+    def shipment_candidates(self, exclude: int) -> tuple[int, int]:
+        """``(candidate_count, exclude_slot)`` without materialising lists.
+
+        *candidate_count* is ``len(entries_except(exclude))`` — what the
+        shipment sampler draws over; *exclude_slot* is the excluded
+        entry's slot, or ``-1`` when absent.
+        """
+        n = self._n
+        nk = _native()
+        if nk is not None:
+            slot = nk.state_find(self._cols_addr, self._alloc, n, exclude)
+            return (n if slot < 0 else n - 1), slot
+        hits = np.nonzero(self._ids[:n] == exclude)[0]
+        if hits.size == 0:
+            return n, -1
+        return n - 1, int(hits[0])
+
+    def ship_selected(
+        self,
+        sel: "np.ndarray | None",
+        excl_slot: int,
+        own_entry: ViewEntry,
+        own_id: int,
+        own_ts: int,
+    ) -> tuple:
+        """Build a columnar shipment from sampled candidate indices.
+
+        *sel* (``int64``, mutated in place) indexes the candidate order
+        of :meth:`shipment_candidates` — slot order minus the excluded
+        slot; ``None`` ships the own descriptor alone.  Returns
+        ``(shipped_entries, cols, wire)`` — the payload list for the
+        message, the shipment's ``(ref, stride, count)`` column block
+        (own descriptor row first), and its total modelled wire size
+        (``None`` when a descriptor was not memoisable).  Off the native
+        tier the columns are skipped entirely — the receiver's merge
+        would not consume them.
+        """
+        nk = _native()
+        own_wire = self._wire_of(own_entry)
+        k = 0 if sel is None else sel.size
+        if nk is None:
+            if k:
+                if excl_slot >= 0:
+                    sel = sel + (sel >= excl_slot)
+                pobj = self._pobj
+                shipped = [pobj[i] for i in sel.tolist()]
+            else:
+                shipped = []
+            return shipped, None, None
+        out = np.empty((3, k + 1), dtype=np.int64)
+        if k:
+            total = nk.state_ship(
+                self._cols_addr,
+                self._alloc,
+                sel,
+                k,
+                excl_slot,
+                own_id,
+                own_ts,
+                own_wire,
+                out,
+            )
+            shipped = self._pobj[sel].tolist()  # sel was bumped in place
+        else:
+            out[0, 0] = own_id
+            out[1, 0] = own_ts
+            out[2, 0] = own_wire
+            total = own_wire
+            shipped = []
+        wire = 1 + total if total >= 0 else None
+        return shipped, (out, k + 1, k + 1), wire
+
+    def ship_all_except(
+        self,
+        exclude: int,
+        own_entry: ViewEntry,
+        own_id: int,
+        own_ts: int,
+    ) -> tuple:
+        """Build a columnar shipment of the whole view but *exclude*.
+
+        Same return shape as :meth:`ship_selected`.
+        """
+        n = self._n
+        nk = _native()
+        own_wire = self._wire_of(own_entry)
+        pobj = self._pobj
+        if nk is None:
+            return self.entries_except(exclude), None, None
+        s = nk.state_find(self._cols_addr, self._alloc, n, exclude)
+        k = n if s < 0 else n - 1
+        out = np.empty((3, k + 1), dtype=np.int64)
+        total = nk.state_ship(
+            self._cols_addr,
+            self._alloc,
+            None,
+            k,
+            s,
+            own_id,
+            own_ts,
+            own_wire,
+            out,
+        )
+        if s < 0:
+            shipped = pobj[:n].tolist()
+        else:
+            shipped = pobj[:s].tolist() + pobj[s + 1 : n].tolist()
+        wire = 1 + total if total >= 0 else None
+        return shipped, (out, k + 1, k + 1), wire
+
+    def entries_with_columns(self) -> tuple:
+        """The entry list plus this view's live column block descriptor.
+
+        For synchronous hand-off into another view's
+        :meth:`upsert_columns` (the Vicinity merge folds the local RPS
+        view in) — callers must consume the result before this view
+        mutates again.
+        """
+        n = self._n
+        return (
+            self._pobj[:n].tolist(),
+            (self._cols, self._alloc, n),
+        )
+
+    # -- mutation ---------------------------------------------------------
+
+    def upsert(self, entry: ViewEntry) -> None:
+        """Insert *entry*, keeping the freshest descriptor per peer."""
+        nid = entry[0]
+        if nid == self.owner_id:
+            return
+        index = self._ensure_index()
+        slot = index.get(nid)
+        if slot is None:
+            self._reserve(1)
+            slot = self._n
+            self._ids[slot] = nid
+            self._ts[slot] = entry[3]
+            self._wire[slot] = self._wire_of(entry)
+            self._pobj[slot] = entry
+            index[nid] = slot
+            self._n = slot + 1
+        elif entry[3] >= self._ts[slot]:
+            self._ts[slot] = entry[3]
+            self._wire[slot] = self._wire_of(entry)
+            self._pobj[slot] = entry
+        else:
+            return
+        self._mutations += 1
+        self._index_tag = self._mutations  # index kept coherent in place
+
+    def upsert_columns(
+        self,
+        entries: "tuple[ViewEntry, ...] | list[ViewEntry]",
+        cols: "tuple | None",
+    ) -> None:
+        """Merge a *columnar shipment*: entries plus their shipped columns.
+
+        With columns and the native tier, the whole freshest-wins merge —
+        id lookups, timestamp compares, wire accounting, payload-reference
+        moves — runs in one ``state_upsert`` kernel call with zero
+        marshaling.  Without columns (or off the native tier) this is
+        exactly :meth:`upsert_all`; both apply identical replacements in
+        identical order.
+        """
+        nk = _native()
+        if cols is None or nk is None or not isinstance(entries, (tuple, list)):
+            self.upsert_all(entries)
+            return
+        inc, stride, count = cols
+        if count == 0:
+            return
+        self._reserve(count)
+        new_n, applied = nk.state_upsert(
+            self._cols_addr,
+            self._alloc,
+            self._pobj_addr,
+            self._n,
+            self._alloc,
+            inc,
+            stride,
+            count,
+            entries,
+            self.owner_id,
+        )
+        self._n = new_n
+        if applied:
+            self._mutations += applied
+
+    def upsert_all(self, entries: Iterable[ViewEntry]) -> None:
+        """Bulk :meth:`upsert` — the same sequential freshest-wins loop
+        as the legacy dict, applied to the columns, so both backends make
+        identical replacements in identical order.  Columnar shipments
+        take :meth:`upsert_columns` instead, which runs the loop in C.
+        """
+        if not isinstance(entries, (list, tuple)):
+            entries = list(entries)
+        n_inc = len(entries)
+        if n_inc == 0:
+            return
+        index = self._ensure_index()
+        self._reserve(n_inc)
+        ids = self._ids
+        ts = self._ts
+        wire = self._wire
+        pobj = self._pobj
+        wire_of = self._wire_of
+        owner = self.owner_id
+        get = index.get
+        n = self._n
+        changed = 0
+        for e in entries:
+            nid = e[0]
+            if nid == owner:
+                continue
+            slot = get(nid)
+            if slot is None:
+                ids[n] = nid
+                ts[n] = e[3]
+                wire[n] = wire_of(e)
+                pobj[n] = e
+                index[nid] = n
+                n += 1
+            elif e[3] >= ts[slot]:
+                ts[slot] = e[3]
+                wire[slot] = wire_of(e)
+                pobj[slot] = e
+            else:
+                continue
+            changed += 1
+        self._n = n
+        if changed:
+            self._mutations += changed
+            self._index_tag = self._mutations
+
+    def remove(self, node_id: int) -> None:
+        """Drop the entry for *node_id* (no-op if absent)."""
+        slot = self._ensure_index().get(node_id)
+        if slot is None:
+            return
+        n = self._n
+        self._cols[:, slot : n - 1] = self._cols[:, slot + 1 : n]
+        self._pobj[slot : n - 1] = self._pobj[slot + 1 : n]
+        self._pobj[n - 1] = None
+        self._n = n - 1
+        self._mutations += 1
+
+    def evict_older_than(self, cutoff: int) -> int:
+        """Drop entries with ``timestamp < cutoff`` (churn healing)."""
+        n = self._n
+        if n == 0:
+            return 0
+        keep = np.nonzero(self._ts[:n] >= cutoff)[0]
+        evicted = n - keep.size
+        if evicted:
+            self._select(keep)
+        return evicted
+
+    def trim_random(self, rng: np.random.Generator) -> None:
+        """Shrink to capacity by keeping a uniform random sample.
+
+        Draws the same ``rng.permutation`` prefix as the legacy backend,
+        so both consume identical randomness and keep identical peers.
+        """
+        n = self._n
+        excess = n - self.capacity
+        if excess <= 0:
+            return
+        drop = rng.permutation(n)[:excess]
+        nk = _native()
+        if nk is not None:
+            new_n = nk.state_trim_drop(
+                self._cols_addr, self._alloc, self._pobj_addr, n, drop, excess
+            )
+            if new_n >= 0:
+                self._n = new_n
+                self._mutations += 1
+                return
+        keep_mask = np.ones(n, dtype=bool)
+        keep_mask[drop] = False
+        self._select(np.nonzero(keep_mask)[0])
+
+    def trim_ranked(
+        self,
+        key: "Callable[[ViewEntry], float] | None" = None,
+        *,
+        scores: "Mapping[int, float] | None" = None,
+        default: float = 0.0,
+    ) -> None:
+        """Shrink to capacity keeping the highest-scored entries.
+
+        Same contract and total order as :meth:`View.trim_ranked`.
+        """
+        if (key is None) == (scores is None):
+            raise ConfigurationError(
+                "trim_ranked needs exactly one of `key` and `scores`"
+            )
+        if self._n <= self.capacity:
+            return
+        entries = self.entries()
+        if scores is not None:
+            get = scores.get
+            self.trim_ranked_aligned(
+                entries, [get(e.node_id, default) for e in entries]
+            )
+            return
+        self.trim_ranked_aligned(entries, [key(e) for e in entries])
+
+    def keep_ranked(
+        self, entries: "list[ViewEntry]", indices: "np.ndarray"
+    ) -> None:
+        """Replace the view's contents with a ranked selection.
+
+        *entries* must be the slot-aligned snapshot the caller just
+        scored; the state block is rebuilt by one gather pass in rank
+        order — the same kept order as the legacy dict rebuild.
+        """
+        n = self._n
+        if len(entries) == n and (n == 0 or entries[0] is self._pobj[0]):
+            # snapshot aligns with the slots: reorder the block in place
+            self._select(indices)
+            return
+        self._rebuild([entries[i] for i in indices.tolist()])
+
+    def _rebuild(self, kept: "list[ViewEntry]") -> None:
+        """Reset the state block from an explicit entry list (rare path)."""
+        k = len(kept)
+        n_old = self._n
+        self._n = 0
+        self._reserve(k)
+        ids = self._ids
+        ts = self._ts
+        wire = self._wire
+        pobj = self._pobj
+        wire_of = self._wire_of
+        for i, e in enumerate(kept):
+            ids[i] = e[0]
+            ts[i] = e[3]
+            wire[i] = wire_of(e)
+            pobj[i] = e
+        # release vacated payload slots, like every other compaction path
+        if k < n_old:
+            pobj[k:n_old] = None
+        self._n = k
+        self._mutations += 1
+
+    def trim_ranked_aligned(
+        self, entries: "list[ViewEntry]", scores: "list[float]"
+    ) -> None:
+        """Ranked trim from scores aligned with an :meth:`entries` snapshot.
+
+        When the snapshot aligns with the slots (the hot case), the
+        native ``rank_topk`` kernel reads the timestamp/id columns
+        directly — no per-entry ``fromiter`` marshaling — and the Python
+        fallback runs the same ``(score, timestamp, -node_id)`` tuple
+        sort as the legacy backend.
+        """
+        k = len(entries)
+        if k <= self.capacity:
+            return
+        nk = _native()
+        if nk is not None and k >= _NATIVE_TRIM_MIN_ROWS and k == self._n:
+            try:
+                keep = nk.rank_topk(
+                    np.asarray(scores, dtype=np.float64),
+                    self._ts[:k],
+                    self._ids[:k],
+                    self.capacity,
+                )
+            except (OverflowError, ValueError, TypeError):
+                keep = None  # non-numeric scores: the tuple sort handles them
+            if keep is not None:
+                self.keep_ranked(entries, keep)
+                return
+        rows = sorted(
+            ((scores[i], e[3], -e[0], i) for i, e in enumerate(entries)),
+            reverse=True,
+        )
+        self.keep_ranked(
+            entries,
+            np.fromiter(
+                (row[3] for row in rows[: self.capacity]),
+                np.int64,
+                count=min(self.capacity, k),
+            ),
+        )
+
+    def sample(self, k: int, rng: np.random.Generator) -> list[ViewEntry]:
+        """Uniform sample (without replacement) of ``min(k, len)`` entries."""
+        n = self._n
+        if k >= n:
+            return self._pobj[:n].tolist()
+        idx = rng.permutation(n)[:k].tolist()
+        pobj = self._pobj
+        return [pobj[i] for i in idx]
+
+    def wire_size(self) -> int:
+        """Modelled serialized size of the whole view: one column sum."""
+        n = self._n
+        sizes = self._wire[:n]
+        if n == 0 or sizes.min() >= 0:
+            return int(sizes.sum())
+        # sentinel slots (non-memoisable profiles) re-measure per call,
+        # matching the legacy walk's behaviour for mutable profile-likes
+        total = 0
+        entries = self._pobj[:n].tolist()
+        for i, size in enumerate(sizes.tolist()):
+            total += size if size >= 0 else descriptor_wire_size(entries[i])
+        return total
+
+    def storage_nbytes(self) -> int:
+        """In-memory footprint of the view's own containers, in bytes.
+
+        The preallocated column block + payload-reference column + the
+        lazy id index; shared entry/profile objects are not counted.
+        """
+        import sys
+
+        return (
+            self._cols.nbytes
+            + self._pobj.nbytes
+            + sys.getsizeof(self._index)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArrayView(owner={self.owner_id}, "
+            f"size={len(self)}/{self.capacity})"
+        )
+
+
+def make_view(capacity: int, owner_id: int) -> "View | ArrayView":
+    """Construct a view on the active state plane.
+
+    The facade factory every protocol goes through: array-backed columns
+    by default, the legacy dict store under ``REPRO_ARRAY_STATE=0`` (see
+    :mod:`repro.core.arraystate`).  Both backends expose the same API and
+    produce bitwise-identical outcomes at fixed seeds.
+    """
+    if array_state_enabled():
+        return ArrayView(capacity, owner_id)
+    return View(capacity, owner_id)

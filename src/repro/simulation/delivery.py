@@ -23,6 +23,12 @@ views at fixed seeds.  ``REPRO_BATCH_DELIVERY=0`` (or
 :func:`set_delivery_batching`) restores the scalar one-envelope-at-a-time
 pipeline everywhere — the equivalence benchmarks and the CI scalar leg run
 both paths and assert identical outcomes.
+
+This gate composes freely with the array-state gate
+(:mod:`repro.core.arraystate`): the delivery pipeline only touches node
+state through the view/profile facades, so any pipeline × state-plane
+combination produces the same bits (asserted by the churn equivalence
+grid in ``tests/test_delivery_batch.py``).
 """
 
 from __future__ import annotations

@@ -281,3 +281,163 @@ class TestDispatchIntegration:
         if not native_available():
             with native_kernel(True):
                 assert kernel() is None
+
+
+class TestStatePlaneKernels:
+    """The ArrayView bookkeeping kernels vs their Python equivalents."""
+
+    @staticmethod
+    def _array_view(capacity=8, owner=99, n=12, seed=4):
+        from repro.gossip.views import ArrayView
+
+        rng = np.random.default_rng(seed)
+        v = ArrayView(capacity, owner_id=owner)
+        entries = [
+            ViewEntry(
+                int(nid),
+                f"10.0.0.{int(nid)}",
+                FrozenProfile({int(nid): 1.0}, is_binary=True),
+                int(rng.integers(0, 10)),
+            )
+            for nid in rng.choice(500, size=n, replace=False)
+        ]
+        v.upsert_all(entries)
+        return v
+
+    @needs_native
+    def test_state_oldest_matches_python_min(self):
+        v = self._array_view()
+        with native_kernel(True):
+            native_pick = v.oldest()
+        with native_kernel(False):
+            python_pick = v.oldest()
+        assert native_pick == python_pick
+
+    @needs_native
+    def test_state_find_matches_index(self):
+        v = self._array_view()
+        nid = v.node_ids()[3]
+        assert NK.state_find(v._cols_addr, v._alloc, len(v), nid) == 3
+        assert NK.state_find(v._cols_addr, v._alloc, len(v), 10**6) == -1
+
+    @needs_native
+    def test_state_upsert_equals_python_loop(self):
+        from repro.gossip.views import ArrayView
+
+        rng = np.random.default_rng(9)
+        base = [
+            ViewEntry(i, "a", FrozenProfile({i: 1.0}, is_binary=True), i)
+            for i in rng.choice(40, size=10, replace=False)
+        ]
+        # incoming batch with in-batch duplicates, owner rows, stale rows
+        inc = [
+            ViewEntry(
+                int(nid),
+                "b",
+                FrozenProfile({int(nid): 1.0, 7: 1.0}, is_binary=True),
+                int(ts),
+            )
+            for nid, ts in zip(
+                rng.choice(45, size=14, replace=True),
+                rng.integers(0, 20, size=14),
+            )
+        ] + [ViewEntry(99, "o", FrozenProfile({}, is_binary=True), 50)]
+        cols_arr = np.empty((3, len(inc)), dtype=np.int64)
+        cols_arr[0] = [e.node_id for e in inc]
+        cols_arr[1] = [e.timestamp for e in inc]
+        cols_arr[2] = [0] * len(inc)
+        via_kernel = ArrayView(8, owner_id=99)
+        via_kernel.upsert_all(base)
+        with native_kernel(True):
+            via_kernel.upsert_columns(
+                tuple(inc), (cols_arr, len(inc), len(inc))
+            )
+        via_python = ArrayView(8, owner_id=99)
+        via_python.upsert_all(base)
+        with native_kernel(False):
+            via_python.upsert_all(inc)
+        assert via_kernel.entries() == via_python.entries()
+        assert via_kernel.node_ids() == via_python.node_ids()
+
+    @needs_native
+    def test_state_select_reorders_and_releases(self):
+        import sys
+
+        v = self._array_view(n=10)
+        entries = v.entries()
+        dropped = entries[0]
+        refs_before = sys.getrefcount(dropped)
+        sel = np.array([3, 1, 2], dtype=np.int64)
+        kept_expect = [entries[3], entries[1], entries[2]]
+        assert NK.state_select(
+            v._cols_addr, v._alloc, v._pobj_addr, len(v), sel, sel.size
+        )
+        v._n = sel.size
+        v._mutations += 1
+        assert v.entries() == kept_expect
+        assert v.node_ids() == [e.node_id for e in kept_expect]
+        # dropped payload references were released by the kernel
+        assert sys.getrefcount(dropped) < refs_before
+
+    @needs_native
+    def test_state_trim_drop_equals_mask_compaction(self):
+        from repro.gossip.views import ArrayView
+
+        rng = np.random.default_rng(21)
+        shared = [
+            ViewEntry(
+                int(nid),
+                "a",
+                FrozenProfile({int(nid): 1.0}, is_binary=True),
+                int(rng.integers(0, 10)),
+            )
+            for nid in rng.choice(500, size=12, replace=False)
+        ]
+        v1 = ArrayView(8, owner_id=99)
+        v1.upsert_all(shared)
+        v2 = ArrayView(8, owner_id=99)
+        v2.upsert_all(shared)
+        drop = np.array([0, 5, 11], dtype=np.int64)
+        new_n = NK.state_trim_drop(
+            v1._cols_addr, v1._alloc, v1._pobj_addr, len(v1), drop, drop.size
+        )
+        assert new_n == 9
+        v1._n = new_n
+        v1._mutations += 1
+        keep = np.array(
+            [i for i in range(12) if i not in (0, 5, 11)], dtype=np.int64
+        )
+        with native_kernel(False):
+            v2._select(keep)
+        assert v1.entries() == v2.entries()
+        assert v1.node_ids() == v2.node_ids()
+
+    @needs_native
+    def test_state_ship_wire_total_matches_walk(self):
+        from repro.gossip.views import descriptor_wire_size
+
+        v = self._array_view(n=9, seed=8)
+        own = ViewEntry(99, "o", FrozenProfile({1: 1.0}, is_binary=True), 7)
+        shipped, cols, wire = v.ship_all_except(
+            v.node_ids()[2], own, 99, 7
+        )
+        assert len(shipped) == 8
+        assert wire == 1 + descriptor_wire_size(own) + sum(
+            descriptor_wire_size(e) for e in shipped
+        )
+        arr, stride, count = cols
+        assert count == 9 and stride == 9
+        assert arr[0, 0] == 99 and arr[1, 0] == 7
+
+    @needs_native
+    def test_state_ship_selected_bumps_past_exclusion(self):
+        v = self._array_view(n=9, seed=8)
+        ids = v.node_ids()
+        excl_slot = 4
+        own = ViewEntry(99, "o", FrozenProfile({}, is_binary=True), 3)
+        sel = np.array([2, 4, 6], dtype=np.int64)  # candidate indices
+        shipped, cols, _wire = v.ship_selected(sel, excl_slot, own, 99, 3)
+        # candidates at/after the excluded slot map to slot+1
+        assert [e.node_id for e in shipped] == [ids[2], ids[5], ids[7]]
+        arr, _stride, _count = cols
+        assert list(arr[0, 1:]) == [ids[2], ids[5], ids[7]]
