@@ -1,0 +1,137 @@
+"""CI docs gate: the documentation front door must not rot.
+
+Checks, over the repo's top-level markdown set (README.md,
+ARCHITECTURE.md, PERFORMANCE.md, ROADMAP.md):
+
+* every **relative link** resolves to an existing file or directory;
+* every **intra-repo anchor** (``FILE.md#heading`` or ``#heading``)
+  matches a real heading of the target document (GitHub slug rules:
+  lowercase, spaces to hyphens, punctuation dropped);
+* every fenced ``python`` code block in README.md actually **runs** —
+  executed as a standalone script with the repo's ``src`` on the path,
+  so the quickstart a new user pastes is permanently load-bearing.
+
+Usage (the CI ``docs`` job)::
+
+    PYTHONPATH=src python benchmarks/check_docs.py
+    python benchmarks/check_docs.py --no-snippets   # links only
+
+Exit status: 0 when everything resolves and runs, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOCS = ("README.md", "ARCHITECTURE.md", "PERFORMANCE.md", "ROADMAP.md")
+
+#: markdown inline links: [text](target) — images and nested brackets are
+#: out of scope for the front-door docs
+_LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$", re.MULTILINE)
+_FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (close-enough subset)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    return {
+        github_slug(match.group(2))
+        for match in _HEADING_RE.finditer(path.read_text())
+    }
+
+
+def check_links(doc: Path) -> list[str]:
+    """All broken relative links / anchors of one document."""
+    problems = []
+    for target in _LINK_RE.findall(doc.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        dest = doc if not path_part else (doc.parent / path_part)
+        if not dest.exists():
+            problems.append(f"{doc.name}: broken link -> {target}")
+            continue
+        if anchor and dest.suffix == ".md":
+            if github_slug(anchor) not in heading_slugs(dest):
+                problems.append(
+                    f"{doc.name}: dead anchor -> {target} "
+                    f"(no such heading in {dest.name})"
+                )
+    return problems
+
+
+def check_snippets(doc: Path) -> list[str]:
+    """Execute every fenced python block of *doc* as a script."""
+    problems = []
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    for i, match in enumerate(_FENCE_RE.finditer(doc.read_text()), 1):
+        snippet = match.group(1)
+        result = subprocess.run(
+            [sys.executable, "-c", snippet],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO,
+            timeout=600,
+        )
+        if result.returncode != 0:
+            problems.append(
+                f"{doc.name}: python snippet #{i} failed "
+                f"(exit {result.returncode}):\n{result.stderr.strip()}"
+            )
+        else:
+            print(f"[docs] {doc.name} snippet #{i}: ran ok")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--no-snippets",
+        action="store_true",
+        help="check links/anchors only (skip executing README snippets)",
+    )
+    args = parser.parse_args(argv)
+
+    problems: list[str] = []
+    for name in DOCS:
+        doc = REPO / name
+        if not doc.exists():
+            problems.append(f"{name}: missing (required front-door doc)")
+            continue
+        problems.extend(check_links(doc))
+    if not args.no_snippets:
+        problems.extend(check_snippets(REPO / "README.md"))
+
+    for problem in problems:
+        print(f"[docs] FAIL: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    if args.no_snippets:
+        print("[docs] all links resolve (snippets skipped)")
+    else:
+        print("[docs] all links resolve, all snippets run")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,8 +2,9 @@
 
 Reads a freshly produced ``bench_scale_throughput.py`` report and the
 committed ``BENCH_scale_throughput.json`` baseline, then compares
-``batch_cps`` — and, when both reports carry them, ``native_cps`` and the
-array-state-plane ``array_cps`` — per scenario:
+``batch_cps`` — and, when both reports carry them, ``native_cps``, the
+array-state-plane ``array_cps`` and the process-sharded ``sharded_cps`` —
+per scenario:
 
 * a regression beyond ``--threshold`` (default 25%) **fails** the check for
   scenarios large enough to measure reliably;
@@ -11,8 +12,13 @@ array-state-plane ``array_cps`` — per scenario:
   noisy on shared runners, so regressions there only **warn**;
 * a fresh report without ``native_cps`` (no compiler on the runner) only
   warns — the no-compiler fallback leg is a supported configuration;
+* ``sharded_cps`` regressions only **warn** when the fresh host has fewer
+  cores than shards (the workers time-slice; the number measures overhead,
+  not scale-out) — on an adequately sized runner they gate like any tier;
 * a failed equivalence flag in the fresh report always fails — a perf win
-  that changes outcomes is not a win.
+  that changes outcomes is not a win.  The sharded determinism flag
+  (``sharding.sharded_runs_identical``) is part of that rule: a sharded
+  run that is not reproducible at a fixed seed fails the gate.
 
 Usage (the CI ``perf-trajectory`` job)::
 
@@ -41,21 +47,20 @@ def compare(
     failures: list[str] = []
     warnings: list[str] = []
 
-    equivalence = fresh.get("equivalence", {})
-    flags = [v for k, v in equivalence.items() if k.endswith("identical")]
-    if flags and not all(flags):
-        failures.append(
-            "scalar/batch equivalence check FAILED in the fresh report: "
-            f"{equivalence}"
-        )
+    for section in ("equivalence", "sharding"):
+        block = fresh.get(section, {})
+        flags = [v for k, v in block.items() if k.endswith("identical")]
+        if flags and not all(flags):
+            failures.append(f"{section} check FAILED in the fresh report: {block}")
 
+    cores = fresh.get("host", {}).get("cpu_count") or 1
     base_scenarios = baseline.get("scenarios", {})
     for name, entry in fresh.get("scenarios", {}).items():
         base = base_scenarios.get(name)
         if base is None:
             warnings.append(f"{name}: no baseline entry, skipping")
             continue
-        for key in ("batch_cps", "native_cps", "array_cps"):
+        for key in ("batch_cps", "native_cps", "array_cps", "sharded_cps"):
             base_cps = base.get(key)
             new_cps = entry.get(key)
             if not base_cps:
@@ -63,7 +68,7 @@ def compare(
                     # batch_cps is mandatory in every baseline; a silent
                     # skip here would gate zero comparisons while green
                     warnings.append(f"{name}: baseline missing {key}")
-                continue  # native_cps: not tracked in this baseline yet
+                continue  # native/sharded: not tracked in this baseline yet
             if not new_cps:
                 # a fresh report without the native path (no compiler on
                 # the runner) is the supported fallback configuration
@@ -77,6 +82,11 @@ def compare(
             if ratio < 1.0 - threshold:
                 if name.startswith(WARN_ONLY_PREFIXES):
                     warnings.append(f"{line} - regression (warn-only scale)")
+                elif key == "sharded_cps" and cores < entry.get("shards", 2):
+                    warnings.append(
+                        f"{line} - regression (host has {cores} cores for "
+                        f"{entry.get('shards')} shards; warn-only)"
+                    )
                 else:
                     failures.append(f"{line} - regression beyond threshold")
             else:

@@ -3,8 +3,9 @@
 This package hosts the **native tier** of the three-tier similarity
 dispatch (native → numpy → set-algebra, see
 :mod:`repro.core.similarity`): a small C extension, built with cffi from
-:mod:`repro._native.build_native`, that scores packed candidate pools and
-performs the merge trim / argmax selections at C speed.
+:mod:`repro._native.build_native`, that scores packed candidate pools,
+performs the merge trim / argmax selections, and runs the array-state
+bookkeeping (``state_*`` kernels) at C speed.
 
 The extension is strictly optional:
 
@@ -19,6 +20,57 @@ The extension is strictly optional:
 Build in place (writes ``_kernels.*.so`` next to this file)::
 
     PYTHONPATH=src python -m repro._native.build_native
+
+The descriptor contract (``_nd``)
+---------------------------------
+
+The profile-scoring kernels never unpack Python containers per call.
+Every packed profile object (:class:`~repro.core.profiles.FrozenProfile`,
+``PackedView``, ``_EphemeralPack``) lazily caches a ``_nd`` tuple::
+
+    (is_binary, liked_ptr, n_liked, rated_ptr, n_rated, scores_ptr, norm)
+
+where the ``*_ptr`` fields are the **raw base addresses** of the packed
+``uint64``/``float64`` arrays (``ndarray.ctypes.data``).  The C side
+decodes the tuple (``parse_nd``) and walks the arrays directly.  Two
+rules make this sound:
+
+* **Lifetime** — a descriptor is valid only while its owning pack object
+  keeps the arrays alive, which the pack guarantees by construction for
+  its whole lifetime (the arrays are immutable-by-convention; any
+  mutation produces a *new* pack and a new descriptor).
+* **Process-locality** — raw addresses never survive a process boundary.
+  The pickle layer (``__getstate__``) nulls ``_nd`` on every pack class,
+  and the kernels refill it via the object's ``_pack()`` on first native
+  contact in the receiving process.  The same rule covers the address
+  caches on :class:`~repro.gossip.views.ArrayView`.
+
+The address contract (state kernels)
+------------------------------------
+
+The ``state_*`` bookkeeping kernels take the view's column-block base
+address and payload-column base address as **plain integers** cached on
+the view (no per-call ``from_buffer`` marshaling; the first-cut design
+that marshalled buffers per call measured *slower* than the numpy tier).
+The addresses are refreshed whenever the block is reallocated — including
+:meth:`~repro.gossip.views.ArrayView.rehome`, which moves the block into
+a ``multiprocessing.shared_memory`` arena under the sharded engine.  A
+mapped address is an address: the kernels are agnostic to whether the
+memory is private or shared (asserted by the shm parity tests in
+``tests/test_sharding.py``).
+
+GIL notes
+---------
+
+cffi releases the GIL around extension calls, but every kernel that
+touches a ``PyObject`` — the candidate-list scoring loops, and the state
+kernels that move payload references with refcounting (``state_upsert``,
+``state_select``, ``state_trim_drop``) — re-acquires it via
+``PyGILState_Ensure`` for exactly the object-touching region.  The
+purely numeric kernels (``rank_topk``, ``argmax_ties``, ``state_oldest``,
+``state_find``, ``state_ship``) run GIL-free.  Shard workers are
+separate processes with separate interpreters, so the GIL never couples
+shards; no kernel ever blocks while holding it.
 """
 
 from __future__ import annotations

@@ -6,6 +6,7 @@ Usage (installed as ``whatsup-repro``, also ``python -m repro``)::
     whatsup-repro run table3               # reproduce one table/figure
     whatsup-repro run all --scale small    # everything, in registry order
     whatsup-repro run fig4 --seed 7 --scale medium
+    whatsup-repro run table3 --shards 4    # process-sharded cycle engine
 
 Every experiment prints the paper-shaped table/series for its id; the same
 code paths back the pytest-benchmark suite under ``benchmarks/``.
@@ -50,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
         "also settable via REPRO_SCALE",
     )
     run_p.add_argument("--seed", type=int, default=1, help="root seed (default 1)")
+    run_p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="process-shard the cycle engine across N workers "
+        "(default 1 = single-process; also settable via REPRO_SHARDS)",
+    )
     return parser
 
 
@@ -63,7 +71,16 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(exp_ids: list[str], scale_name: str | None, seed: int) -> int:
+def _cmd_run(
+    exp_ids: list[str],
+    scale_name: str | None,
+    seed: int,
+    shards: int | None = None,
+) -> int:
+    if shards is not None:
+        from repro.simulation.sharding import set_shard_count
+
+        set_shard_count(shards)
     scale = get_scale(scale_name)
     if len(exp_ids) == 1 and exp_ids[0].lower() == "all":
         exp_ids = sorted(EXPERIMENTS)
@@ -88,7 +105,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiments, args.scale, args.seed)
+        return _cmd_run(args.experiments, args.scale, args.seed, args.shards)
     return 2  # pragma: no cover - argparse enforces the subcommands
 
 

@@ -17,6 +17,45 @@ is laid out without invalidating existing objects — both layouts implement
 the same facade and interoperate.  For apples-to-apples runs, construct
 and run each system entirely inside one :func:`array_state` block, as the
 equivalence tests do.
+
+Column layout and ownership
+---------------------------
+
+An :class:`~repro.gossip.views.ArrayView` owns exactly two stores:
+
+* ``_cols`` — one preallocated ``(3, alloc)`` ``int64`` block whose rows
+  are the node-id, timestamp and wire-size columns.  Slot order
+  replicates dict insertion-order semantics exactly: replacement keeps
+  the slot, insertion appends, deletion compacts preserving relative
+  order — so iteration order, and therefore every downstream RNG draw,
+  matches the legacy dict bit for bit.
+* ``_pobj`` — the slot-aligned numpy *object* column holding the
+  :class:`~repro.gossip.views.ViewEntry` payload references.
+
+The base addresses of both are cached on the view and handed to the
+native state kernels as plain integers (the zero-marshaling contract —
+see the :mod:`repro._native` module docstring).  Three ownership rules
+follow:
+
+* **Addresses are process-local.**  Pickling serialises live rows only
+  and rebuilds the block (and its cached addresses) on unpickling; the
+  cached native descriptors on packed profiles are nulled the same way.
+* **The numeric block is relocatable; the payload column is not.**
+  :meth:`~repro.gossip.views.ArrayView.rehome` moves ``_cols`` into
+  caller-provided storage — under ``REPRO_SHARDS>1`` a per-shard
+  ``multiprocessing.shared_memory`` arena — and rebinds the addresses;
+  ``_pobj`` holds object references and always stays private to the
+  owning process.
+* **Growth falls back to private memory.**  A view that outgrows a
+  mapped block reallocates privately and abandons the arena slot (the
+  shard arena is a bump allocator without ``free``); correctness never
+  depends on residency, only the zero-copy read path does.
+
+Packed profile columns (sorted ``uint64`` ids + ``float64`` scores with
+the set-op journal) reallocate on every applied mutation batch and are
+therefore **never** mapped into shared memory — the measured design
+trade-offs live in ``PERFORMANCE.md`` (section "Process-sharded
+cycles").
 """
 
 from __future__ import annotations

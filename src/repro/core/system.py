@@ -20,8 +20,8 @@ from repro.core.config import WhatsUpConfig
 from repro.core.node import OpinionFn, WhatsUpNode
 from repro.gossip.bootstrap import random_view_bootstrap
 from repro.network.transport import Transport
-from repro.simulation.engine import CycleEngine
 from repro.simulation.harness import SystemHarness
+from repro.simulation.sharding import make_engine
 from repro.utils.exceptions import SimulationError
 from repro.utils.rng import RngStreams
 
@@ -95,7 +95,10 @@ class WhatsUpSystem(SystemHarness):
         ]
         seed_random_views(self.nodes, self.streams.get("bootstrap"))
 
-        engine = CycleEngine(
+        # the factory honours REPRO_SHARDS: 1 (the default) is a plain
+        # CycleEngine, above that the population runs process-sharded
+        # (see repro.simulation.sharding)
+        engine = make_engine(
             self.nodes,
             dataset.schedule(),
             transport=transport,
@@ -109,6 +112,29 @@ class WhatsUpSystem(SystemHarness):
                 self.config.similarity, self.config.similarity
             )
             self.system_name = f"whatsup-{short}"
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, cycles: int | None = None, *, drain: bool = True) -> None:
+        """Run the deployment (see :meth:`SystemHarness.run`).
+
+        Under a sharded engine (``REPRO_SHARDS>1``) the worker state is
+        adopted back into the parent afterwards, and ``self.nodes`` is
+        re-pointed at the collected node objects so post-run analyses
+        (profiles, views, seen sets) read the real final state.
+        """
+        super().run(cycles, drain=drain)
+        engine = self.engine
+        if hasattr(engine, "collect"):
+            engine.collect()
+            fresh = engine.nodes
+            self.nodes = [fresh[node.node_id] for node in self.nodes]
+
+    def close(self) -> None:
+        """Release engine resources (sharded worker processes/segments)."""
+        close = getattr(self.engine, "close", None)
+        if close is not None:
+            close()
 
     # ------------------------------------------------------------------ #
 

@@ -159,6 +159,31 @@ class DisseminationLog:
         """Count *n* duplicate receipts at once (batched delivery path)."""
         self.duplicates += n
 
+    def merge(self, other: "DisseminationLog") -> None:
+        """Append every event of *other* to this log, in *other*'s order.
+
+        The shard facade folds per-worker logs together with this
+        (:mod:`repro.simulation.sharding`), in shard order — row order
+        across shards therefore differs from a single-process run's
+        interleaving, but every metric is an aggregate over rows and all
+        rows are present exactly once.
+        """
+        self.d_item.extend(other.d_item)
+        self.d_node.extend(other.d_node)
+        self.d_cycle.extend(other.d_cycle)
+        self.d_hops.extend(other.d_hops)
+        self.d_dislikes.extend(other.d_dislikes)
+        self.d_liked.extend(other.d_liked)
+        self.d_via_like.extend(other.d_via_like)
+        self.f_item.extend(other.f_item)
+        self.f_node.extend(other.f_node)
+        self.f_cycle.extend(other.f_cycle)
+        self.f_hops.extend(other.f_hops)
+        self.f_liked.extend(other.f_liked)
+        self.f_targets.extend(other.f_targets)
+        self.duplicates += other.duplicates
+        self._arrays = None
+
     # -- array access ---------------------------------------------------------
 
     def arrays(self) -> dict[str, np.ndarray]:

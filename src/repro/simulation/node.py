@@ -42,6 +42,31 @@ class BaseNode(ABC):
         self._alive = True
         self._alive_listener = None
 
+    def __getstate__(self) -> dict:
+        """Serialize every slot across the class hierarchy but the engine hook.
+
+        ``_alive_listener`` is a bound method of the owning engine; keeping
+        it would drag the entire engine (and with it every other node)
+        into any pickle of a single node.  The receiving engine re-arms
+        the hook when the node is registered (shard workers, mid-run
+        joins).
+        """
+        state = {}
+        for klass in type(self).__mro__:
+            for name in getattr(klass, "__slots__", ()):
+                if name == "_alive_listener" or name in state:
+                    continue
+                try:
+                    state[name] = getattr(self, name)
+                except AttributeError:  # pragma: no cover - unset slot
+                    pass
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._alive_listener = None
+
     @property
     def alive(self) -> bool:
         """Dead nodes receive nothing and take no actions (churn model)."""

@@ -1,0 +1,1589 @@
+"""Process-sharded cycle engine over the shared-memory array plane.
+
+WHATSUP's pitch is horizontal scale — every user is a node and the gossip
+fabric grows with the population — yet a :class:`~repro.simulation.engine.
+CycleEngine` run occupies exactly one CPython core.  This module hosts the
+**scale-out** lever the array-backed state plane (PR 4) was built for:
+``REPRO_SHARDS=N`` partitions the node population across *N* worker
+processes and runs each cycle as a sequence of parallel sub-cycles
+synchronised at barriers.
+
+Layout
+------
+
+* The population is partitioned by ``node_id % N`` (:func:`shard_of`) —
+  stable under mid-run joins, no routing table.
+* Each worker owns its shard's node objects outright and drives them with a
+  :class:`_ShardEngine` — a :class:`CycleEngine` subclass whose routing
+  methods intercept cross-shard traffic.  Intra-shard gossip and item
+  delivery run exactly the single-process code paths.
+* Each shard's :class:`~repro.gossip.views.ArrayView` numeric state blocks
+  are re-homed into a per-shard :mod:`multiprocessing.shared_memory` arena
+  (:meth:`ArrayView.rehome`): the native state kernels receive the mapped
+  addresses unchanged, and the parent can read any view's ``(ids, ts,
+  wire)`` columns zero-copy (:meth:`ShardedCycleEngine.view_columns`)
+  without a pickle round-trip.  ``REPRO_SHARD_SHM=0`` (or an unavailable
+  ``shared_memory``) degrades to private memory and inline pipe traffic
+  with identical outcomes — the fallback the CI leg pins.
+* Cross-shard traffic travels in **columnar shard-boundary mailboxes**:
+  per-destination row buffers accumulated during a sub-cycle and flushed
+  at its barrier as one pickled blob per (source, destination) pair —
+  payload sharing within a flush is preserved by the single pickle, so a
+  popular profile snapshot crosses a boundary once per cycle, not once
+  per message.  Blobs are staged through per-pair shared-memory segments
+  (pipes carry only tiny descriptors); without shared memory they travel
+  inline in bounded chunks.
+
+The cycle barrier protocol
+--------------------------
+
+A single-process cycle interleaves gossip request, reply and item delivery
+per node.  Under sharding the same work is grouped into three barrier-
+separated sub-cycles so that every cross-shard exchange still *completes
+within its cycle*::
+
+    worker 0                 worker 1                  (lock-step, no
+    ─────────────────────    ─────────────────────      parent in the
+    A: churn, publications,  A: churn, publications,    data path)
+       local gossip;            local gossip;
+       remote requests  ──────▶ mailbox ──────▶ ...
+    ══════════ barrier 1: request mailboxes flush ══════════
+    B: serve remote          B: serve remote
+       requests, emit   ──────▶ replies ──────▶ ...
+    ══════════ barrier 2: reply mailboxes flush ════════════
+    C: apply replies;        C: apply replies;
+       deliver item inbox;      deliver item inbox;
+       remote item sends ─────▶ mailbox ──────▶ ...
+    ══════════ barrier 3: item mailboxes flush ═════════════
+       ingest remote items (arrive next cycle), cycle ends
+
+Item copies sent in cycle *t* arrive in cycle *t + 1* on either path, so
+cross-shard item delivery is semantically identical to the single-process
+pipeline.  Cross-shard gossip request/reply pairs also complete within
+their cycle; only the *interleaving order* differs from the
+single-process engine (local exchanges first, then remote requests in
+shard order, then replies), which is why shard counts above 1 are
+**deterministic and seed-stable** but not bitwise-comparable across
+different shard counts.
+
+Determinism contract
+--------------------
+
+* ``REPRO_SHARDS=1`` (the default) never constructs any of this machinery:
+  :func:`make_engine` returns a plain :class:`CycleEngine`, bitwise
+  identical to every previous release at fixed seeds.
+* For any fixed ``(seed, N)``, repeated runs produce identical outcomes —
+  per-shard engine/transport/churn streams are derived with the same
+  :class:`numpy.random.SeedSequence` spawning mechanism as every other
+  stream in the tree (:class:`ShardRngStreams` salts the stream label
+  with the shard index), every mailbox is drained in (source shard, send
+  order) order, and node-private generators travel with their nodes.
+* Sharding engages only under lossless unit-delay transports (the paper's
+  simulation setting); lossy/latency transports fall back to the
+  single-process engine with a warning — their per-message RNG draws have
+  no deterministic cross-process ordering.
+
+The parent process never touches node state while a run is in flight; it
+re-adopts it lazily (:meth:`ShardedCycleEngine.collect`) when ``nodes`` /
+``stats`` / ``log`` are read, merging per-worker traffic counters and
+dissemination logs in shard order.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+import traceback
+import warnings
+from contextlib import contextmanager
+from typing import Iterable
+
+import multiprocessing
+from multiprocessing.connection import wait as _conn_wait
+
+import numpy as np
+
+from repro.network.message import MessageKind, payload_wire_size
+from repro.network.stats import TrafficStats
+from repro.network.transport import PerfectTransport, Transport
+from repro.simulation.delivery import delivery_batching_enabled
+from repro.simulation.engine import CycleEngine
+from repro.simulation.events import DisseminationLog
+from repro.simulation.node import BaseNode
+from repro.simulation.schedule import PublicationSchedule
+from repro.utils.exceptions import SimulationError
+from repro.utils.rng import RngStreams, spawn_generator
+
+__all__ = [
+    "shard_count",
+    "set_shard_count",
+    "sharding",
+    "shard_shm_enabled",
+    "set_shard_shm",
+    "shard_shm",
+    "shard_of",
+    "ShardRngStreams",
+    "ShardedCycleEngine",
+    "make_engine",
+]
+
+_DISABLED = ("0", "false", "no", "off")
+
+
+def _env_shards() -> int:
+    raw = os.environ.get("REPRO_SHARDS", "1")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+_n_shards = _env_shards()
+
+_shm_enabled = os.environ.get("REPRO_SHARD_SHM", "1").lower() not in _DISABLED
+
+#: per-(source, destination) shared-memory mailbox segment size; blobs
+#: larger than a segment cross in several staged chunks
+_MAILBOX_BYTES = max(
+    64 * 1024,
+    int(os.environ.get("REPRO_SHARD_MAILBOX_BYTES", str(1 << 20))),
+)
+
+#: inline chunk size when shared memory is off — small enough that a
+#: stop-and-wait window of one chunk can never fill an OS pipe buffer
+#: (which would deadlock two workers mid-send)
+_INLINE_CHUNK = 32 * 1024
+
+#: parent-side timeout waiting on a worker reply, seconds
+_CTRL_TIMEOUT = float(os.environ.get("REPRO_SHARD_TIMEOUT", "600"))
+
+_ARENA_ALIGN = 64
+
+
+def shard_count() -> int:
+    """The configured shard count (1 = single-process, the default)."""
+    return _n_shards
+
+
+def set_shard_count(n: int) -> int:
+    """Set the shard count; returns the previous setting.
+
+    Consulted when an engine is *constructed* (:func:`make_engine`);
+    running engines are unaffected.  Prefer the :func:`sharding` context
+    manager outside hot paths — it restores the previous setting even
+    when the guarded block raises.
+    """
+    global _n_shards
+    previous = _n_shards
+    _n_shards = max(1, int(n))
+    return previous
+
+
+@contextmanager
+def sharding(n: int):
+    """Context manager pinning the shard count, restoring on exit."""
+    previous = set_shard_count(n)
+    try:
+        yield
+    finally:
+        set_shard_count(previous)
+
+
+def shard_shm_enabled() -> bool:
+    """Whether shared-memory arenas/mailboxes are used between shards."""
+    return _shm_enabled
+
+
+def set_shard_shm(enabled: bool) -> bool:
+    """Enable/disable shared-memory staging; returns the previous setting.
+
+    With the gate off, state blocks stay in private memory and mailbox
+    blobs travel inline through the worker pipes in bounded chunks —
+    outcomes are identical either way (the fallback tests assert this).
+    """
+    global _shm_enabled
+    previous = _shm_enabled
+    _shm_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def shard_shm(enabled: bool):
+    """Context manager pinning the shared-memory gate, restoring on exit."""
+    previous = set_shard_shm(enabled)
+    try:
+        yield
+    finally:
+        set_shard_shm(previous)
+
+
+def shard_of(node_id: int, n_shards: int) -> int:
+    """The shard owning *node_id*: a stable modulo partition.
+
+    Stable under mid-run joins (no routing table to rebalance) and
+    independent of insertion order, so any process can route a message
+    from the id alone.
+    """
+    return int(node_id) % int(n_shards)
+
+
+class ShardRngStreams(RngStreams):
+    """Per-shard named random streams, independent across shards.
+
+    The worker-side twin of :class:`~repro.utils.rng.RngStreams`: stream
+    labels are salted with the shard index before the
+    :class:`numpy.random.SeedSequence` derivation, so
+    ``ShardRngStreams(seed, 0).get("engine-order")`` and shard 1's stream
+    of the same name are statistically independent, while any fixed
+    ``(seed, shard, label)`` triple reproduces the same stream in every
+    run at every shard count.
+    """
+
+    def __init__(self, seed: int, shard: int) -> None:
+        super().__init__(seed)
+        self.shard = int(shard)
+
+    def _label(self, label: str) -> str:
+        return f"shard{self.shard}/{label}"
+
+    def get(self, label: str) -> np.random.Generator:
+        if label not in self._streams:
+            self._streams[label] = spawn_generator(self.seed, self._label(label))
+        return self._streams[label]
+
+    def fresh(self, label: str) -> np.random.Generator:
+        return spawn_generator(self.seed, self._label(label))
+
+
+# --------------------------------------------------------------------------- #
+# serialization helpers                                                       #
+# --------------------------------------------------------------------------- #
+
+
+def _dumps(obj: object) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _loads(blob: bytes) -> object:
+    return pickle.loads(blob)
+
+
+#: per-link interning table bound: when a link has interned this many
+#: distinct snapshots, both ends reset it (their tables grow in lock-step
+#: — one entry per first-crossing uid — so the same size rule fires at
+#: the same cycle on both sides)
+_INTERN_CAP = max(256, int(os.environ.get("REPRO_SHARD_INTERN_CAP", "20000")))
+
+
+def _dumps_interned(obj: object, sent: set) -> bytes:
+    """Pickle *obj* with per-link profile interning (sender side).
+
+    Profile snapshots are the bulk of every gossip blob, and most of them
+    are re-shipped unchanged cycle after cycle (a profile only changes
+    when its user rates an item).  Snapshots are immutable and carry a
+    process-unique ``uid``, so a link only ever needs to move each
+    snapshot's bytes **once**: the first crossing embeds the full
+    canonical state, every later crossing is a uid reference resolved
+    from the receiver's link registry (:func:`_loads_interned`).
+    """
+    import io
+
+    from repro.core.profiles import FrozenProfile
+    from repro.gossip.views import ViewEntry
+
+    buf = io.BytesIO()
+    pickler = pickle.Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def persistent_id(o):
+        klass = type(o)
+        if klass is FrozenProfile:
+            uid = o.uid
+            if uid in sent:
+                return (1, uid)
+            sent.add(uid)
+            return (0, uid, o.__getstate__())
+        if klass is ViewEntry and type(o[2]) is FrozenProfile:
+            # a descriptor is fully determined by (node id, timestamp,
+            # profile snapshot): the address is a pure function of the
+            # node id, so the triple is a sound identity for re-shipped
+            # descriptors (the ints/uid make the key hashable and small)
+            key = (o[0], o[3], o[2].uid)
+            if key in sent:
+                return (3, key)
+            sent.add(key)
+            return (2, key, tuple(o))
+        return None
+
+    pickler.persistent_id = persistent_id
+    pickler.dump(obj)
+    return buf.getvalue()
+
+
+def _loads_interned(blob: bytes, registry: dict) -> object:
+    """Unpickle a blob produced by :func:`_dumps_interned` (receiver side).
+
+    First-crossing snapshots are constructed from their embedded state
+    and registered under their uid; reference crossings resolve from the
+    registry.  A missing uid is a protocol error (the link tables fell
+    out of lock-step) and raises ``KeyError`` — corrupting a merge
+    silently would be far worse.
+    """
+    import io
+
+    from repro.core.profiles import FrozenProfile
+    from repro.gossip.views import ViewEntry
+
+    unpickler = pickle.Unpickler(io.BytesIO(blob))
+
+    def persistent_load(pid):
+        tag = pid[0]
+        if tag == 1 or tag == 3:
+            return registry[pid[1]]
+        if tag == 0:
+            profile = FrozenProfile.__new__(FrozenProfile)
+            profile.__setstate__(pid[2])
+            registry[pid[1]] = profile
+            return profile
+        entry = ViewEntry._make(pid[2])
+        registry[pid[1]] = entry
+        return entry
+
+    unpickler.persistent_load = persistent_load
+    return unpickler.load()
+
+
+def _stats_parts(stats: TrafficStats) -> dict:
+    """Plain-dict reduction of a :class:`TrafficStats` (pickle-safe).
+
+    The dataclass's counters are ``defaultdict`` instances with lambda
+    factories, which cannot cross a pickle boundary; the parts can.
+    """
+    return {
+        "sent": dict(stats.sent),
+        "delivered": dict(stats.delivered),
+        "dropped": dict(stats.dropped),
+        "bytes_delivered": dict(stats.bytes_delivered),
+    }
+
+
+def _merge_stats_parts(stats: TrafficStats, parts: dict) -> None:
+    for kind, v in parts["sent"].items():
+        stats.sent[kind] += v
+    for kind, v in parts["delivered"].items():
+        stats.delivered[kind] += v
+    for kind, v in parts["dropped"].items():
+        stats.dropped[kind] += v
+    for kind, v in parts["bytes_delivered"].items():
+        stats.bytes_delivered[kind] += v
+
+
+def _attach_shm(name: str):
+    """Attach an existing shared-memory segment, tracker-quietly.
+
+    The parent created the segment and owns its unlink.  Python 3.13's
+    ``track=False`` keeps an attach out of the resource tracker entirely;
+    on older versions the attach-side ``register`` is a no-op under the
+    fork start method (the workers share the parent's tracker process, so
+    the name is already enrolled once) and the parent's single unlink
+    leaves the tracker cache clean.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        return shared_memory.SharedMemory(name=name)
+
+
+def _array_views_of(node: BaseNode):
+    """Yield ``(attr, ArrayView)`` pairs of a node's gossip views."""
+    from repro.gossip.views import ArrayView
+
+    for attr in ("rps", "wup"):
+        proto = getattr(node, attr, None)
+        view = getattr(proto, "view", None)
+        if isinstance(view, ArrayView):
+            yield attr, view
+
+
+class _ShardArena:
+    """Bump allocator over one shard's shared-memory state segment.
+
+    Hands out ``(3, alloc)`` ``int64`` blocks for
+    :meth:`~repro.gossip.views.ArrayView.rehome`.  There is no ``free``:
+    views that outgrow their block abandon it and fall back to private
+    memory (growth beyond ``2·capacity + 8`` rows is a rare transient of
+    oversized merges), which keeps the allocator a single offset.
+    """
+
+    def __init__(self, shm) -> None:
+        self.shm = shm
+        self.offset = 0
+
+    def alloc_cols(self, alloc: int) -> tuple:
+        """A zeroed block of *alloc* columns, or ``(None, -1)`` when full."""
+        nbytes = 3 * 8 * alloc
+        start = (self.offset + _ARENA_ALIGN - 1) // _ARENA_ALIGN * _ARENA_ALIGN
+        if start + nbytes > self.shm.size:
+            return None, -1
+        block = np.frombuffer(
+            self.shm.buf, dtype=np.int64, count=3 * alloc, offset=start
+        ).reshape(3, alloc)
+        self.offset = start + nbytes
+        return block, start
+
+
+# --------------------------------------------------------------------------- #
+# the peer mailbox fabric                                                     #
+# --------------------------------------------------------------------------- #
+
+
+class _PeerLinks:
+    """Worker-side mailbox fabric: one duplex pipe per peer shard, plus an
+    optional shared-memory staging segment per direction.
+
+    :meth:`exchange` implements one barrier: every worker ships one blob
+    to every peer and returns when it holds every peer's blob and all of
+    its own chunks are acknowledged.  The loop is event-driven
+    (:func:`multiprocessing.connection.wait`), so a worker always keeps
+    servicing incoming chunks while waiting for its own acknowledgements
+    — the property that makes the barrier deadlock-free for arbitrary
+    blob sizes.  Chunks from a *future* barrier (a fast peer may run
+    ahead by up to two sub-cycles, never a full cycle) are acknowledged
+    and stashed for that barrier's own :meth:`exchange` call.
+    """
+
+    def __init__(self, shard: int, conns: dict, out_segs: dict, in_segs: dict):
+        self.shard = shard
+        self.conns = conns  # peer shard -> Connection
+        self.out_segs = out_segs  # peer shard -> SharedMemory | absent
+        self.in_segs = in_segs
+        self._conn_src = {conn: peer for peer, conn in conns.items()}
+        self._stash: dict = {}  # tag -> {src: [(bytes, last), ...]}
+        self.shm_bytes = 0
+        self.inline_bytes = 0
+
+    def _chunk_size(self, peer: int) -> int:
+        seg = self.out_segs.get(peer)
+        return seg.size if seg is not None else _INLINE_CHUNK
+
+    def _send_next(self, peer: int, tag, queues: dict, awaiting: dict):
+        queue = queues[peer]
+        if not queue:
+            awaiting[peer] = False
+            return
+        chunk = queue.pop(0)
+        last = not queue
+        seg = self.out_segs.get(peer)
+        if seg is not None and len(chunk) <= seg.size:
+            seg.buf[: len(chunk)] = chunk
+            self.conns[peer].send(("d", tag, len(chunk), last, None))
+            self.shm_bytes += len(chunk)
+        else:
+            self.conns[peer].send(("d", tag, len(chunk), last, chunk))
+            self.inline_bytes += len(chunk)
+        awaiting[peer] = True
+
+    def exchange(self, tag, outgoing: dict) -> list:
+        """Run one barrier; returns ``[(src_shard, blob), ...]`` sorted."""
+        peers = sorted(self.conns)
+        if not peers:
+            return []
+        queues = {}
+        for peer in peers:
+            blob = outgoing.get(peer, b"")
+            size = self._chunk_size(peer)
+            queues[peer] = [
+                blob[i : i + size] for i in range(0, len(blob), size)
+            ] or [b""]
+        bufs = {peer: [] for peer in peers}
+        need_recv = set(peers)
+        awaiting: dict = {}
+
+        # drain chunks a fast peer already pushed for this barrier
+        for src, chunks in self._stash.pop(tag, {}).items():
+            for data, last in chunks:
+                bufs[src].append(data)
+                if last:
+                    need_recv.discard(src)
+
+        for peer in peers:
+            self._send_next(peer, tag, queues, awaiting)
+
+        conns = list(self.conns.values())
+        while (
+            need_recv
+            or any(awaiting.get(p) for p in peers)
+            or any(queues[p] for p in peers)
+        ):
+            for conn in _conn_wait(conns):
+                src = self._conn_src[conn]
+                msg = conn.recv()
+                op = msg[0]
+                if op == "d":
+                    _, mtag, nbytes, last, inline = msg
+                    if inline is None:
+                        data = bytes(self.in_segs[src].buf[:nbytes])
+                    else:
+                        data = inline
+                    conn.send(("a", mtag))
+                    if mtag == tag:
+                        bufs[src].append(data)
+                        if last:
+                            need_recv.discard(src)
+                    else:  # a peer running ahead: hold for its barrier
+                        held = self._stash.setdefault(mtag, {})
+                        held.setdefault(src, []).append((data, last))
+                elif op == "a":
+                    # acks are never early: we only advance past a barrier
+                    # once all our chunks for it are acknowledged
+                    self._send_next(src, tag, queues, awaiting)
+                else:  # pragma: no cover - protocol violation
+                    raise SimulationError(f"bad mailbox message {msg[:2]}")
+        return [(peer, b"".join(bufs[peer])) for peer in peers]
+
+
+# --------------------------------------------------------------------------- #
+# the worker-side engine                                                      #
+# --------------------------------------------------------------------------- #
+
+
+class _ShardEngine(CycleEngine):
+    """A :class:`CycleEngine` over one shard's nodes.
+
+    Intra-shard traffic runs the inherited single-process code paths
+    verbatim.  The routing overrides intercept traffic whose target lives
+    on another shard and append it to the per-destination mailboxes; the
+    worker loop (:class:`_ShardWorker`) flushes those at the cycle's
+    barriers and feeds incoming mailboxes back through the
+    ``shard_phase_*`` methods, which reproduce the exact bookkeeping of
+    :meth:`CycleEngine._run_cycle` split at the barrier points.
+    """
+
+    def __init__(
+        self,
+        nodes,
+        schedule,
+        transport,
+        streams,
+        churn,
+        shard: int,
+        n_shards: int,
+    ) -> None:
+        super().__init__(
+            nodes, schedule, transport=transport, streams=streams, churn=churn
+        )
+        if not self._lossless:  # pragma: no cover - guarded by make_engine
+            raise SimulationError("sharding requires a lossless transport")
+        self.shard = int(shard)
+        self.n_shards = int(n_shards)
+        peers = [d for d in range(n_shards) if d != shard]
+        self._req_out: dict[int, list] = {d: [] for d in peers}
+        self._rep_out: dict[int, list] = {d: [] for d in peers}
+        self._item_out: dict[int, list] = {d: [] for d in peers}
+        #: per-link profile-interning tables: uids already shipped to a
+        #: peer (sender side) / snapshots received from one (receiver
+        #: side) — see _dumps_interned/_loads_interned
+        self._intern_out: dict[int, set] = {d: set() for d in peers}
+        self._intern_in: dict[int, dict] = {d: {} for d in peers}
+        self._cycle_inbox: dict = {}
+        self._cycle_batching = False
+
+    # -- mailbox plumbing -------------------------------------------------- #
+
+    def take_mailbox(self, box: dict) -> dict:
+        """Drain a mailbox into per-destination pickled blobs."""
+        out = {}
+        intern = self._intern_out
+        for dst, rows in box.items():
+            if rows:
+                out[dst] = _dumps_interned(rows, intern[dst])
+                box[dst] = []
+        return out
+
+    # -- routing overrides ------------------------------------------------- #
+
+    def gossip(self, sender_id, target_id, payload, kind) -> None:
+        if target_id in self.nodes:
+            super().gossip(sender_id, target_id, payload, kind)
+            return
+        dst = shard_of(target_id, self.n_shards)
+        # accounting happens at the owning shard, which alone knows the
+        # target's liveness; merged totals match the single-process counters
+        self._req_out[dst].append((sender_id, target_id, kind, payload))
+
+    def send_item(self, sender_id, target_id, copy, via_like) -> None:
+        if target_id in self.nodes:
+            super().send_item(sender_id, target_id, copy, via_like)
+            return
+        dst = shard_of(target_id, self.n_shards)
+        self._item_out[dst].append((target_id, sender_id, copy, via_like))
+
+    def send_fanout(
+        self, sender_id, targets, copy, via_like, bump_dislikes=False
+    ) -> None:
+        local = [t for t in targets if t in self.nodes]
+        if len(local) == len(targets):
+            super().send_fanout(sender_id, targets, copy, via_like, bump_dislikes)
+            return
+        extra = 1 if bump_dislikes else 0
+        n_shards = self.n_shards
+        item_out = self._item_out
+        for target in targets:
+            if target in self.nodes:
+                continue
+            item_out[shard_of(target, n_shards)].append(
+                (target, sender_id, copy.clone_for_forward(extra), via_like)
+            )
+        if local:
+            super().send_fanout(sender_id, local, copy, via_like, bump_dislikes)
+
+    # -- the barrier-split cycle ------------------------------------------- #
+
+    def shard_phase_open(self) -> None:
+        """Sub-cycle A: churn, inbox hand-over, publications, local gossip."""
+        now = self.now
+        # bound the interning tables: both ends of a link grow them in
+        # lock-step (one entry per first-crossing uid, all of a cycle's
+        # blobs consumed within the cycle), so this size rule fires at
+        # the same cycle top on the sender and the receiver
+        for sent in self._intern_out.values():
+            if len(sent) > _INTERN_CAP:
+                sent.clear()
+        for registry in self._intern_in.values():
+            if len(registry) > _INTERN_CAP:
+                registry.clear()
+        self.transport.begin_cycle()
+        if self.churn is not None:
+            self.churn.apply(self, now)
+
+        batching = self._lossless and delivery_batching_enabled()
+        self._buffering = batching
+        self._cycle_batching = batching
+
+        inbox = self._future_inboxes.pop(now, {})
+        if inbox:
+            self._pending_items -= sum(len(v) for v in inbox.values())
+        self._cycle_inbox = inbox
+
+        for item in self.schedule.items_at(now):
+            source = self.nodes.get(item.source)
+            if source is not None and source.alive:
+                source.publish(item, self, now)
+
+        ids = self.alive_node_ids()
+        self._order_rng.shuffle(ids)
+        for nid in ids:
+            node = self.nodes[nid]
+            if node.alive:
+                node.begin_cycle(self, now)
+
+    def shard_phase_requests(self, incoming: list) -> None:
+        """Sub-cycle B: serve gossip requests that crossed the boundary."""
+        now = self.now
+        nodes_get = self.nodes.get
+        stats = self.stats
+        rep_out = self._rep_out
+        intern = self._intern_in
+        for src, blob in incoming:
+            if not blob:
+                continue
+            for sender_id, target_id, kind, payload in _loads_interned(
+                blob, intern[src]
+            ):
+                target = nodes_get(target_id)
+                ok = target is not None and target._alive
+                stats.record_parts(kind, payload_wire_size(payload), ok)
+                if not ok:
+                    continue
+                reply = target.on_gossip(payload, kind, self, now)
+                if reply is not None:
+                    rep_out[src].append((sender_id, target_id, kind, reply))
+
+    def shard_phase_replies(self, incoming: list) -> None:
+        """Sub-cycle C entry: deliver replies to their initiators."""
+        now = self.now
+        nodes_get = self.nodes.get
+        stats = self.stats
+        intern = self._intern_in
+        for src, blob in incoming:
+            if not blob:
+                continue
+            for sender_id, _target_id, kind, reply in _loads_interned(
+                blob, intern[src]
+            ):
+                sender = nodes_get(sender_id)
+                ok = sender is not None and sender._alive
+                stats.record_parts(kind, payload_wire_size(reply), ok)
+                if ok:
+                    sender.on_gossip(reply, kind, self, now)
+
+    def shard_phase_deliver(self) -> None:
+        """Sub-cycle C: drain the item inbox, flush local sends."""
+        now = self.now
+        inbox = self._cycle_inbox
+        self._cycle_inbox = {}
+        delivery_ids = list(inbox)
+        self._order_rng.shuffle(delivery_ids)
+        nodes = self.nodes
+        if self._cycle_batching:
+            for nid in delivery_ids:
+                node = nodes[nid]
+                if node._alive:
+                    node.receive_items(inbox[nid], self, now)
+            self._buffering = False
+            self._flush_item_sends()
+        else:
+            for nid in delivery_ids:
+                node = nodes[nid]
+                if not node.alive:
+                    continue
+                for _sender, copy, via_like in inbox[nid]:
+                    node.receive_item(copy, via_like, self, now)
+
+    def shard_ingest_items(self, incoming: list) -> None:
+        """Barrier 3: adopt remote item sends into next cycle's inboxes."""
+        now = self.now
+        nodes_get = self.nodes.get
+        delivered = dropped = nbytes = 0
+        inboxes = None
+        intern = self._intern_in
+        for src, blob in incoming:
+            if not blob:
+                continue
+            if inboxes is None:
+                inboxes = self._future_inboxes[now + 1]
+            for target_id, sender_id, copy, via_like in _loads_interned(
+                blob, intern[src]
+            ):
+                target = nodes_get(target_id)
+                if target is not None and target._alive:
+                    inboxes[target_id].append((sender_id, copy, via_like))
+                    delivered += 1
+                    nbytes += copy.wire_size()
+                else:
+                    dropped += 1
+        if delivered or dropped:
+            self._pending_items += delivered
+            self.stats.record_items_bulk(delivered, dropped, nbytes)
+
+    def shard_phase_close(self) -> None:
+        """End of cycle: advance the clock."""
+        self.now += 1
+        self.cycles_run += 1
+
+
+# --------------------------------------------------------------------------- #
+# the worker process                                                          #
+# --------------------------------------------------------------------------- #
+
+
+def _apply_gates(gates: dict) -> None:
+    """Pin the pipeline gates in this process (spawn-start safety)."""
+    from repro._native import set_native_kernel
+    from repro.core.arraystate import set_array_state
+    from repro.core.similarity import default_score_cache, set_batch_scoring
+    from repro.simulation.delivery import set_delivery_batching
+
+    set_batch_scoring(gates["batch"])
+    set_delivery_batching(gates["delivery"])
+    set_native_kernel(gates["native"])
+    set_array_state(gates["array"])
+    # start from an empty score cache: fork inherits the parent's, spawn
+    # starts fresh — clearing makes both starts identical (the cache only
+    # avoids recomputation; every score is bit-identical either way)
+    default_score_cache().clear()
+
+
+class _ShardWorker:
+    """Command loop run inside each worker process."""
+
+    def __init__(self, shard: int, n_shards: int, ctrl, peer_conns) -> None:
+        self.shard = shard
+        self.n_shards = n_shards
+        self.ctrl = ctrl
+        self.peer_conns = peer_conns
+        self.engine: _ShardEngine | None = None
+        self.links: _PeerLinks | None = None
+        self.arena: _ShardArena | None = None
+        self._arena_views: list = []
+        self._segs: list = []
+
+    # -- command handlers --------------------------------------------------- #
+
+    def _init(self, blob: bytes) -> tuple:
+        spec = _loads(blob)
+        _apply_gates(spec["gates"])
+
+        # disjoint snapshot-uid ranges per process: parent uids stay tiny,
+        # worker i allocates from (i + 1) << 44 — cross-process uid
+        # collisions (and with them score-cache poisoning) are impossible
+        from repro.core.profiles import FrozenProfile
+
+        FrozenProfile._uid_counter = itertools.count((self.shard + 1) << 44)
+
+        streams = ShardRngStreams(spec["seed"], self.shard)
+        self.engine = _ShardEngine(
+            spec["nodes"],
+            spec["schedule"],
+            spec["transport"],
+            streams,
+            spec["churn"],
+            self.shard,
+            self.n_shards,
+        )
+        need = 0
+        if spec["want_arena"]:
+            for node in self.engine.nodes.values():
+                for _name, view in _array_views_of(node):
+                    alloc = max(view._alloc, 2 * view.capacity + 8)
+                    need += 3 * 8 * alloc + _ARENA_ALIGN
+            if need:
+                need += 4096
+        return ("ready", need)
+
+    def _attach(self, arena_name, out_names: dict, in_names: dict) -> tuple:
+        adopted = 0
+        if arena_name is not None:
+            shm = _attach_shm(arena_name)
+            self._segs.append(shm)
+            self.arena = _ShardArena(shm)
+            for nid, node in self.engine.nodes.items():
+                for name, view in _array_views_of(node):
+                    alloc = max(view._alloc, 2 * view.capacity + 8)
+                    block, offset = self.arena.alloc_cols(alloc)
+                    if block is None:
+                        break
+                    view.rehome(block)
+                    self._arena_views.append((nid, name, offset, alloc, view, block))
+                    adopted += 1
+        out_segs = {}
+        for peer, name in out_names.items():
+            out_segs[peer] = _attach_shm(name)
+            self._segs.append(out_segs[peer])
+        in_segs = {}
+        for peer, name in in_names.items():
+            in_segs[peer] = _attach_shm(name)
+            self._segs.append(in_segs[peer])
+        self.links = _PeerLinks(self.shard, self.peer_conns, out_segs, in_segs)
+        return ("attached", adopted)
+
+    def _one_cycle(self) -> None:
+        eng = self.engine
+        links = self.links
+        tag = eng.cycles_run
+        eng.shard_phase_open()
+        req_in = links.exchange((tag, "q"), eng.take_mailbox(eng._req_out))
+        eng.shard_phase_requests(req_in)
+        rep_in = links.exchange((tag, "r"), eng.take_mailbox(eng._rep_out))
+        eng.shard_phase_replies(rep_in)
+        eng.shard_phase_deliver()
+        item_in = links.exchange((tag, "i"), eng.take_mailbox(eng._item_out))
+        eng.shard_ingest_items(item_in)
+        eng.shard_phase_close()
+
+    def _state_map(self) -> dict:
+        live = {}
+        for nid, name, offset, alloc, view, block in self._arena_views:
+            if view._cols is block:  # still arena-resident (never grew)
+                live.setdefault(nid, {})[name] = (offset, alloc, view._n)
+        return live
+
+    def _collect(self) -> bytes:
+        eng = self.engine
+        churn = eng.churn
+        churn_parts = (
+            (churn.total_kills, churn.total_rejoins)
+            if churn is not None
+            else None
+        )
+        return _dumps(
+            (
+                list(eng.nodes.values()),
+                _stats_parts(eng.stats),
+                eng.log,
+                churn_parts,
+            )
+        )
+
+    def _detach_views(self) -> None:
+        """Re-home every arena-resident view back into private memory.
+
+        A separate frame on purpose: the loop variables alias arena
+        blocks, and they must be gone (frame exited) before the segments
+        are closed — a single live export makes ``mmap.close`` raise
+        ``BufferError``.
+        """
+        for _nid, _name, _off, _alloc, view, block in self._arena_views:
+            if view._cols is block:
+                view._allocate(view._alloc)
+        self._arena_views = []
+
+    def _cleanup(self) -> None:
+        """Detach from shared memory before the worker exits.
+
+        Every arena-resident view is re-homed back into private memory so
+        no numpy view keeps a buffer export open — closing a segment with
+        live exports raises ``BufferError`` from ``SharedMemory.__del__``
+        at interpreter shutdown otherwise.
+        """
+        self._detach_views()
+        self.arena = None
+        if self.links is not None:
+            self.links.out_segs = {}
+            self.links.in_segs = {}
+        for seg in self._segs:
+            try:
+                seg.close()
+            except Exception:  # pragma: no cover - platform close quirks
+                pass
+        self._segs = []
+
+    # -- the loop ----------------------------------------------------------- #
+
+    def serve(self) -> None:
+        try:
+            self._serve()
+        finally:
+            self._cleanup()
+
+    def _serve(self) -> None:
+        ctrl = self.ctrl
+        while True:
+            try:
+                cmd = ctrl.recv()
+            except (EOFError, OSError):
+                break
+            try:
+                op = cmd[0]
+                if op == "run":
+                    for _ in range(cmd[1]):
+                        self._one_cycle()
+                    eng = self.engine
+                    ctrl.send(("ran", eng.now, eng._pending_items))
+                elif op == "init":
+                    ctrl.send(self._init(cmd[1]))
+                elif op == "attach":
+                    ctrl.send(self._attach(cmd[1], cmd[2], cmd[3]))
+                elif op == "alive_ids":
+                    ctrl.send(("alive_ids", self.engine.alive_node_ids()))
+                elif op == "get_node":
+                    node = self.engine.nodes.get(cmd[1])
+                    ctrl.send(("node", None if node is None else _dumps(node)))
+                elif op == "add_node":
+                    self.engine.add_node(_loads(cmd[1]))
+                    ctrl.send(("ok",))
+                elif op == "state_map":
+                    ctrl.send(("state_map", self._state_map()))
+                elif op == "link_stats":
+                    links = self.links
+                    ctrl.send(
+                        (
+                            "link_stats",
+                            {
+                                "shm_bytes": links.shm_bytes,
+                                "inline_bytes": links.inline_bytes,
+                            },
+                        )
+                    )
+                elif op == "collect":
+                    ctrl.send(("state", self._collect()))
+                elif op == "stop":
+                    ctrl.send(("stopped",))
+                    break
+                else:
+                    ctrl.send(("error", f"unknown command {op!r}"))
+            except Exception:
+                try:
+                    ctrl.send(("error", traceback.format_exc()))
+                except (BrokenPipeError, OSError):  # parent went away
+                    break
+
+
+def _worker_main(shard: int, n_shards: int, ctrl, peer_conns) -> None:
+    _ShardWorker(shard, n_shards, ctrl, peer_conns).serve()
+
+
+# --------------------------------------------------------------------------- #
+# the parent-side facade                                                      #
+# --------------------------------------------------------------------------- #
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platform
+        return multiprocessing.get_context("spawn")
+
+
+def _gate_snapshot() -> dict:
+    from repro._native import native_kernel_enabled
+    from repro.core.arraystate import array_state_enabled
+    from repro.core.similarity import batch_scoring_enabled
+
+    return {
+        "batch": batch_scoring_enabled(),
+        "delivery": delivery_batching_enabled(),
+        "native": native_kernel_enabled(),
+        "array": array_state_enabled(),
+    }
+
+
+class ShardedCycleEngine:
+    """Parent-side facade of a process-sharded simulation run.
+
+    Exposes the :class:`CycleEngine` surface the harness, the experiment
+    runner and the CLI consume — ``run`` / ``run_until_drained``,
+    ``nodes`` / ``node`` / ``add_node`` / ``alive_node_ids``, ``stats`` /
+    ``log`` / ``pending_item_messages`` — while the node population lives
+    in worker processes.  Reading ``nodes`` / ``stats`` / ``log`` after a
+    run triggers a :meth:`collect`, which adopts the workers' state into
+    the parent (the facade is then coherent until the next run).
+
+    Construct through :func:`make_engine`; always :meth:`close` (or use as
+    a context manager) so worker processes and shared-memory segments are
+    released deterministically.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[BaseNode],
+        schedule: PublicationSchedule,
+        transport: Transport | None = None,
+        streams: RngStreams | None = None,
+        churn: object | None = None,
+        n_shards: int | None = None,
+    ) -> None:
+        nodes = list(nodes)
+        self.n_shards = int(n_shards if n_shards is not None else shard_count())
+        if self.n_shards < 2:
+            raise SimulationError(
+                "ShardedCycleEngine needs n_shards >= 2; "
+                "make_engine returns a CycleEngine below that"
+            )
+        self.schedule = schedule
+        self.transport = (
+            transport if transport is not None else PerfectTransport()
+        )
+        if not self.transport.is_lossless():
+            raise SimulationError("sharding requires a lossless transport")
+        self.streams = streams if streams is not None else RngStreams(0)
+        self.churn = churn
+        self.now = 0
+        self.cycles_run = 0
+        self._observers: list = []
+        self._pending = 0
+        self._order: list[int] = []
+        self._nodes: dict[int, BaseNode] = {}
+        for node in nodes:
+            if node.node_id in self._nodes:
+                raise SimulationError(f"duplicate node id {node.node_id}")
+            self._nodes[node.node_id] = node
+            self._order.append(node.node_id)
+        self._dirty = False
+        self._stats: TrafficStats | None = None
+        self._log: DisseminationLog | None = None
+        self._closed = False
+        self._use_shm = shard_shm_enabled()
+        self._arenas: dict[int, object] = {}
+        self._own_segs: list = []
+        self._procs: list = []
+        self._ctrl: list = []
+        try:
+            self._start_workers(nodes)
+        except Exception:
+            self.close()
+            raise
+
+    # -- worker lifecycle --------------------------------------------------- #
+
+    def _start_workers(self, nodes: list) -> None:
+        ctx = _mp_context()
+        n = self.n_shards
+        if self._use_shm:
+            # start the resource tracker *before* forking: the workers then
+            # share the parent's tracker and their attach-side registrations
+            # collapse into the parent's single entry per segment (no
+            # spurious "leaked shared_memory" warnings at worker exit)
+            try:
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            except Exception:  # pragma: no cover - tracker internals moved
+                pass
+        pair: dict = {}
+        for i in range(n):
+            for j in range(i + 1, n):
+                pair[(i, j)] = ctx.Pipe()
+        child_ends = []
+        for w in range(n):
+            parent_conn, child_conn = ctx.Pipe()
+            peers = {}
+            for p in range(n):
+                if p == w:
+                    continue
+                i, j = (w, p) if w < p else (p, w)
+                peers[p] = pair[(i, j)][0 if w == i else 1]
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(w, n, child_conn, peers),
+                daemon=True,
+                name=f"repro-shard-{w}",
+            )
+            proc.start()
+            self._procs.append(proc)
+            self._ctrl.append(parent_conn)
+            child_ends.append(child_conn)
+        # the parent keeps no end of the peer pipes: close its copies so a
+        # dead worker surfaces as EOF instead of a silent hang
+        for conn_a, conn_b in pair.values():
+            conn_a.close()
+            conn_b.close()
+        for conn in child_ends:
+            conn.close()
+
+        from repro.core.arraystate import array_state_enabled
+
+        gates = _gate_snapshot()
+        shards = [[] for _ in range(n)]
+        for nid in self._order:
+            shards[shard_of(nid, n)].append(self._nodes[nid])
+        for w in range(n):
+            blob = _dumps(
+                {
+                    "seed": self.streams.seed,
+                    "nodes": shards[w],
+                    "schedule": self.schedule,
+                    "transport": self.transport,
+                    "churn": self.churn,
+                    "gates": gates,
+                    "want_arena": self._use_shm and array_state_enabled(),
+                }
+            )
+            self._ctrl[w].send(("init", blob))
+        needs = [self._expect(w, "ready")[1] for w in range(n)]
+
+        arena_names: list = [None] * n
+        out_names: list = [dict() for _ in range(n)]
+        in_names: list = [dict() for _ in range(n)]
+        if self._use_shm:
+            try:
+                from multiprocessing import shared_memory
+
+                for w, need in enumerate(needs):
+                    if need:
+                        seg = shared_memory.SharedMemory(create=True, size=need)
+                        self._own_segs.append(seg)
+                        self._arenas[w] = seg
+                        arena_names[w] = seg.name
+                for src in range(n):
+                    for dst in range(n):
+                        if src == dst:
+                            continue
+                        seg = shared_memory.SharedMemory(
+                            create=True, size=_MAILBOX_BYTES
+                        )
+                        self._own_segs.append(seg)
+                        out_names[src][dst] = seg.name
+                        in_names[dst][src] = seg.name
+            except Exception:
+                # no usable shared memory on this platform: inline fallback
+                self._release_segs()
+                self._arenas = {}
+                arena_names = [None] * n
+                out_names = [dict() for _ in range(n)]
+                in_names = [dict() for _ in range(n)]
+                self._use_shm = False
+        for w in range(n):
+            self._ctrl[w].send(("attach", arena_names[w], out_names[w], in_names[w]))
+        for w in range(n):
+            self._expect(w, "attached")
+
+    def _expect(self, worker: int, op: str) -> tuple:
+        conn = self._ctrl[worker]
+        if not conn.poll(_CTRL_TIMEOUT):
+            raise SimulationError(
+                f"shard worker {worker} did not answer within "
+                f"{_CTRL_TIMEOUT:.0f}s (waiting for {op!r})"
+            )
+        try:
+            msg = conn.recv()
+        except EOFError:
+            raise SimulationError(
+                f"shard worker {worker} died (waiting for {op!r})"
+            ) from None
+        if msg[0] == "error":
+            raise SimulationError(f"shard worker {worker} failed:\n{msg[1]}")
+        if msg[0] != op:
+            raise SimulationError(
+                f"shard worker {worker}: expected {op!r}, got {msg[0]!r}"
+            )
+        return msg
+
+    def _broadcast(self, cmd: tuple, reply_op: str) -> list:
+        """Send *cmd* to every worker; collect one reply each.
+
+        Replies are drained in arrival order, not worker order: when one
+        worker fails mid-cycle its siblings stay wedged at a mailbox
+        barrier and never answer, so waiting on worker 0 first would
+        turn any error into a timeout attributed to the wrong process.
+        The first ``error`` reply aborts the run immediately — with the
+        failing worker's real traceback — and tears the engine down
+        (the wedged siblings are terminated by :meth:`close`).
+        """
+        if self._closed:
+            raise SimulationError("engine is closed")
+        for conn in self._ctrl:
+            conn.send(cmd)
+        import time
+
+        replies: dict[int, tuple] = {}
+        pending = {conn: w for w, conn in enumerate(self._ctrl)}
+        deadline = time.monotonic() + _CTRL_TIMEOUT
+        while pending:
+            timeout = max(0.0, deadline - time.monotonic())
+            ready = _conn_wait(list(pending), timeout)
+            if not ready:
+                missing = sorted(pending.values())
+                self.close()
+                raise SimulationError(
+                    f"shard workers {missing} did not answer within "
+                    f"{_CTRL_TIMEOUT:.0f}s (waiting for {reply_op!r})"
+                )
+            for conn in ready:
+                worker = pending.pop(conn)
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    self.close()
+                    raise SimulationError(
+                        f"shard worker {worker} died "
+                        f"(waiting for {reply_op!r})"
+                    ) from None
+                if msg[0] == "error":
+                    self.close()
+                    raise SimulationError(
+                        f"shard worker {worker} failed:\n{msg[1]}"
+                    )
+                if msg[0] != reply_op:  # pragma: no cover - protocol bug
+                    self.close()
+                    raise SimulationError(
+                        f"shard worker {worker}: expected {reply_op!r}, "
+                        f"got {msg[0]!r}"
+                    )
+                replies[worker] = msg
+        return [replies[w] for w in range(self.n_shards)]
+
+    # -- population --------------------------------------------------------- #
+
+    @property
+    def nodes(self) -> dict[int, BaseNode]:
+        """The node population, collected from the workers when stale.
+
+        While a run is in flight between reads, the parent's copies lag;
+        the first access after a run adopts the workers' current objects
+        (the same instances later reads keep returning).
+        """
+        if self._dirty:
+            self.collect()
+        return self._nodes
+
+    def node(self, node_id: int) -> BaseNode:
+        """Look up a node by id (fresh worker copy while running)."""
+        if not self._dirty or self._closed:
+            try:
+                return self._nodes[node_id]
+            except KeyError:
+                raise SimulationError(f"unknown node id {node_id}") from None
+        if node_id not in self._nodes:
+            raise SimulationError(f"unknown node id {node_id}")
+        w = shard_of(node_id, self.n_shards)
+        self._ctrl[w].send(("get_node", node_id))
+        msg = self._expect(w, "node")
+        if msg[1] is None:  # pragma: no cover - registry/worker divergence
+            raise SimulationError(f"unknown node id {node_id}")
+        return _loads(msg[1])
+
+    def add_node(self, node: BaseNode) -> None:
+        """Add a node joining mid-run (its first cycle is the next one)."""
+        if self._closed:
+            raise SimulationError("engine is closed")
+        if node.node_id in self._nodes:
+            raise SimulationError(f"duplicate node id {node.node_id}")
+        w = shard_of(node.node_id, self.n_shards)
+        self._ctrl[w].send(("add_node", _dumps(node)))
+        self._expect(w, "ok")
+        self._nodes[node.node_id] = node
+        self._order.append(node.node_id)
+
+    def alive_node_ids(self) -> list[int]:
+        """Ids of alive nodes, concatenated in shard order."""
+        replies = self._broadcast(("alive_ids",), "alive_ids")
+        out: list[int] = []
+        for msg in replies:
+            out.extend(msg[1])
+        return out
+
+    # -- the run loop -------------------------------------------------------- #
+
+    def add_observer(self, fn) -> None:
+        """Register ``fn(engine, cycle)``; fired on the facade per cycle.
+
+        Observers see the facade (aggregate clock/pending state), not live
+        node objects — reading ``nodes`` from an observer forces a
+        collect per cycle, which is correct but slow.
+        """
+        self._observers.append(fn)
+
+    def _step(self, k: int) -> None:
+        replies = self._broadcast(("run", k), "ran")
+        self.now += k
+        self.cycles_run += k
+        self._pending = sum(msg[2] for msg in replies)
+        self._dirty = True
+        self._stats = None
+        self._log = None
+
+    def run(self, n_cycles: int) -> None:
+        """Advance the simulation by *n_cycles* cycles."""
+        if n_cycles <= 0:
+            return
+        if self._observers:
+            for _ in range(n_cycles):
+                cycle = self.now
+                self._step(1)
+                for fn in self._observers:
+                    fn(self, cycle)
+        else:
+            self._step(n_cycles)
+
+    def run_until_drained(self, max_extra: int = 200) -> int:
+        """Run past the schedule until no item messages remain in flight."""
+        extra = 0
+        while extra < max_extra:
+            if self.now > self.schedule.last_cycle and self._pending == 0:
+                break
+            self.run(1)
+            extra += 1
+        return extra
+
+    def pending_item_messages(self) -> int:
+        """Item copies in flight across all shards (post-cycle totals)."""
+        return self._pending
+
+    # -- state adoption ------------------------------------------------------ #
+
+    def collect(self) -> None:
+        """Adopt the workers' node state, traffic counters and event logs.
+
+        Per-worker logs/stats merge in shard order; node objects replace
+        the parent's stale copies under their original insertion order.
+        Idempotent between runs.
+        """
+        replies = self._broadcast(("collect",), "state")
+        stats = TrafficStats()
+        log = DisseminationLog()
+        fresh: dict[int, BaseNode] = {}
+        kills = rejoins = 0
+        have_churn = False
+        for msg in replies:
+            nodes, stats_parts, wlog, churn_parts = _loads(msg[1])
+            for node in nodes:
+                fresh[node.node_id] = node
+            _merge_stats_parts(stats, stats_parts)
+            log.merge(wlog)
+            if churn_parts is not None:
+                have_churn = True
+                kills += churn_parts[0]
+                rejoins += churn_parts[1]
+        # adopt worker state *into* the parent's existing node objects
+        # (pickle-state transplant), so every reference taken before the
+        # run — harness lists, a joiner returned by join_node, test
+        # fixtures — observes the collected state under a stable identity
+        current = self._nodes
+        merged: dict[int, BaseNode] = {}
+        for nid in self._order:
+            node = fresh.get(nid)
+            if node is None:  # pragma: no cover - registry divergence
+                continue
+            held = current.get(nid)
+            if held is not None and held is not node:
+                held.__setstate__(node.__getstate__())
+                node = held
+            merged[nid] = node
+        self._nodes = merged
+        self._stats = stats
+        self._log = log
+        if have_churn and self.churn is not None:
+            # surface aggregate churn counters on the parent's model copy
+            self.churn.total_kills = kills
+            self.churn.total_rejoins = rejoins
+        self._dirty = False
+
+    @property
+    def stats(self) -> TrafficStats:
+        """Merged traffic counters across shards (collected on demand)."""
+        if self._stats is None or self._dirty:
+            self.collect()
+        return self._stats
+
+    @property
+    def log(self) -> DisseminationLog:
+        """Merged dissemination log across shards (collected on demand)."""
+        if self._log is None or self._dirty:
+            self.collect()
+        return self._log
+
+    # -- shared-memory state plane ------------------------------------------- #
+
+    def mailbox_stats(self) -> list[dict]:
+        """Per-shard mailbox traffic: bytes staged via shm vs inline.
+
+        Sender-side counts since start-up, in shard order — the
+        measurement hook behind the mailbox-overhead numbers in
+        ``PERFORMANCE.md``.
+        """
+        return [
+            msg[1] for msg in self._broadcast(("link_stats",), "link_stats")
+        ]
+
+    def state_map(self) -> dict:
+        """Arena placement of every shard-resident view.
+
+        ``{node_id: {"rps"|"wup": (offset, alloc, n)}}`` for views still
+        living in their shard's shared-memory arena.  Empty when shared
+        memory is off or the legacy state plane is active.
+        """
+        if not self._arenas:
+            return {}
+        merged: dict = {}
+        for msg in self._broadcast(("state_map",), "state_map"):
+            merged.update(msg[1])
+        return merged
+
+    def view_columns(self, node_id: int, proto: str = "rps") -> tuple:
+        """One view's live ``(ids, ts)`` columns, read zero-copy.
+
+        Reads the shard arena mapping directly — no worker pickle of the
+        view — returning defensive copies of the two columns.  Raises
+        when the view is not arena-resident (shared memory off, legacy
+        state plane, or the view outgrew its block).
+        """
+        placement = self.state_map().get(node_id, {}).get(proto)
+        if placement is None:
+            raise SimulationError(
+                f"view {proto!r} of node {node_id} is not arena-resident"
+            )
+        offset, alloc, n = placement
+        seg = self._arenas[shard_of(node_id, self.n_shards)]
+        block = np.frombuffer(
+            seg.buf, dtype=np.int64, count=3 * alloc, offset=offset
+        ).reshape(3, alloc)
+        return block[0, :n].copy(), block[1, :n].copy()
+
+    # -- teardown ------------------------------------------------------------ #
+
+    def _release_segs(self) -> None:
+        for seg in self._own_segs:
+            try:
+                seg.close()
+                seg.unlink()
+            except Exception:  # pragma: no cover - double close
+                pass
+        self._own_segs = []
+
+    def close(self) -> None:
+        """Stop the workers and release shared-memory segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._ctrl:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for conn in self._ctrl:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._ctrl = []
+        self._procs = []
+        self._arenas = {}
+        self._release_segs()
+
+    def __enter__(self) -> "ShardedCycleEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC ordering dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedCycleEngine(shards={self.n_shards}, "
+            f"nodes={len(self._nodes)}, now={self.now}, "
+            f"pending={self._pending})"
+        )
+
+
+def make_engine(
+    nodes: Iterable[BaseNode],
+    schedule: PublicationSchedule,
+    transport: Transport | None = None,
+    streams: RngStreams | None = None,
+    churn: object | None = None,
+) -> "CycleEngine | ShardedCycleEngine":
+    """Construct the engine the current ``REPRO_SHARDS`` setting asks for.
+
+    The facade factory systems go through: with the gate at its default
+    of 1 this *is* ``CycleEngine(...)`` — no worker, no shared memory, no
+    behavioural delta of any kind.  Above 1 it returns a
+    :class:`ShardedCycleEngine` when the configuration supports sharding,
+    and falls back to the single-process engine (with a warning) when it
+    does not: lossy/latency transports (per-message RNG draws have no
+    deterministic cross-process order) or populations too small to give
+    every shard at least two nodes.
+    """
+    n = shard_count()
+    nodes = list(nodes)
+    if n <= 1:
+        return CycleEngine(
+            nodes, schedule, transport=transport, streams=streams, churn=churn
+        )
+    tr = transport if transport is not None else PerfectTransport()
+    if not tr.is_lossless():
+        warnings.warn(
+            "REPRO_SHARDS>1 requires a lossless transport; "
+            "running single-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return CycleEngine(nodes, schedule, transport=tr, streams=streams, churn=churn)
+    if len(nodes) < 2 * n:
+        warnings.warn(
+            f"population of {len(nodes)} is too small for {n} shards; "
+            "running single-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return CycleEngine(nodes, schedule, transport=tr, streams=streams, churn=churn)
+    return ShardedCycleEngine(
+        nodes,
+        schedule,
+        transport=tr,
+        streams=streams,
+        churn=churn,
+        n_shards=n,
+    )

@@ -54,6 +54,12 @@ def _restore_array_state():
         yield
 
 
+def _thirds_opinion(_nid, item) -> bool:
+    """Deterministic joiner oracle; module-level so the joined node
+    pickles into shard workers under a forced ``REPRO_SHARDS``."""
+    return item.item_id % 3 != 0
+
+
 def entry(nid: int, ts: int = 0, likes: tuple = ()) -> ViewEntry:
     profile = FrozenProfile({i: 1.0 for i in likes}, is_binary=True)
     return ViewEntry(nid, f"10.0.0.{nid}", profile, ts)
@@ -479,7 +485,7 @@ class TestEndToEndEquivalence:
                 for j in range(3):
                     system.join_node(
                         base + j,
-                        opinion=lambda _nid, item: item.item_id % 3 != 0,
+                        opinion=_thirds_opinion,
                         contact_id=j * 7,
                     )
                 system.engine.run(10)

@@ -17,8 +17,19 @@ from repro.utils.rng import RngStreams
 from tests.conftest import make_item_profile
 
 
+class _Always:
+    """Constant opinion oracle; a class instance so it pickles into the
+    shard workers when the suite runs under a forced ``REPRO_SHARDS``."""
+
+    def __init__(self, liked: bool) -> None:
+        self.liked = liked
+
+    def __call__(self, node_id, item) -> bool:
+        return self.liked
+
+
 def always(liked: bool):
-    return lambda node_id, item: liked
+    return _Always(liked)
 
 
 def make_node(node_id=0, opinion=None, seed=0, **cfg) -> WhatsUpNode:
