@@ -222,13 +222,26 @@ def run_mode(
         t0 = time.perf_counter()
         system.engine.run(cycles)
         elapsed = time.perf_counter() - t0
+        mailbox = None
         if mode == "sharded":
             system.run(cycles=0, drain=False)  # adopt worker state, untimed
+            per_shard = system.engine.mailbox_stats()
+            total = sum(
+                s["shm_bytes"] + s["inline_bytes"] for s in per_shard
+            )
+            mailbox = {
+                "shm_bytes": sum(s["shm_bytes"] for s in per_shard),
+                "inline_bytes": sum(s["inline_bytes"] for s in per_shard),
+                "bytes_per_cycle": round(total / max(1, cycles), 1),
+                "chunk_retries": sum(s["chunk_retries"] for s in per_shard),
+                "crc_failures": sum(s["crc_failures"] for s in per_shard),
+                "dup_chunks": sum(s["dup_chunks"] for s in per_shard),
+            }
         memory = memory_report(system)
         close = getattr(system.engine, "close", None)
         if close is not None:
             close()
-    return {
+    result = {
         "n_users": len(system.nodes),
         "n_items": system.dataset.n_items,
         "cycles": cycles,
@@ -236,6 +249,9 @@ def run_mode(
         "cycles_per_sec": round(cycles / elapsed, 4),
         "memory": memory,
     }
+    if mailbox is not None:
+        result["mailbox"] = mailbox
+    return result
 
 
 def _system_state(system: WhatsUpSystem) -> dict:
@@ -448,6 +464,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[{name}]   {shard['cycles_per_sec']} cycles/sec")
             entry["shards"] = args.shards
             entry["sharded_cps"] = shard["cycles_per_sec"]
+            if "mailbox" in shard:
+                entry["mailbox"] = shard["mailbox"]
             entry["speedup_sharded_vs_array"] = round(
                 shard["cycles_per_sec"] / array["cycles_per_sec"], 3
             )

@@ -15,6 +15,10 @@ per scenario:
 * ``sharded_cps`` regressions only **warn** when the fresh host has fewer
   cores than shards (the workers time-slice; the number measures overhead,
   not scale-out) — on an adequately sized runner they gate like any tier;
+* shard-boundary mailbox traffic (``mailbox.bytes_per_cycle``) growing
+  beyond the threshold only **warns** — the quantity is deterministic per
+  configuration, so growth flags a heavier wire format or shipment
+  selection rather than a slow host;
 * a failed equivalence flag in the fresh report always fails — a perf win
   that changes outcomes is not a win.  The sharded determinism flag
   (``sharding.sharded_runs_identical``) is part of that rule: a sharded
@@ -89,6 +93,23 @@ def compare(
                     )
                 else:
                     failures.append(f"{line} - regression beyond threshold")
+            else:
+                warnings.append(f"{line} - ok")
+        # mailbox traffic gate (warn-only): the shard-boundary bytes per
+        # cycle are deterministic for a given configuration, so growth
+        # means the wire format or the shipment selection got heavier —
+        # worth a look, but never a hard failure (hosts don't affect it,
+        # intentional protocol changes do, and those update the baseline)
+        base_mail = (base.get("mailbox") or {}).get("bytes_per_cycle")
+        new_mail = (entry.get("mailbox") or {}).get("bytes_per_cycle")
+        if base_mail and new_mail:
+            ratio = new_mail / base_mail
+            line = (
+                f"{name} mailbox bytes/cycle: {new_mail:.0f} vs baseline "
+                f"{base_mail:.0f} ({ratio:.2f}x)"
+            )
+            if ratio > 1.0 + threshold:
+                warnings.append(f"{line} - traffic growth (warn-only)")
             else:
                 warnings.append(f"{line} - ok")
     return failures, warnings

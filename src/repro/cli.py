@@ -7,6 +7,8 @@ Usage (installed as ``whatsup-repro``, also ``python -m repro``)::
     whatsup-repro run all --scale small    # everything, in registry order
     whatsup-repro run fig4 --seed 7 --scale medium
     whatsup-repro run table3 --shards 4    # process-sharded cycle engine
+    whatsup-repro run table3 --shards 4 --faults crash@5:1:q
+                                           # fault-injected, self-healing run
 
 Every experiment prints the paper-shaped table/series for its id; the same
 code paths back the pytest-benchmark suite under ``benchmarks/``.
@@ -58,6 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-shard the cycle engine across N workers "
         "(default 1 = single-process; also settable via REPRO_SHARDS)",
     )
+    run_p.add_argument(
+        "--faults",
+        default=None,
+        metavar="SCHEDULE",
+        help="deterministic fault schedule for the sharded engine: "
+        "JSON, a JSON file path, or the DSL "
+        "'kind@cycle:shard[:phase[:param]]' (e.g. 'crash@5:1:q'); "
+        "also settable via REPRO_FAULTS",
+    )
     return parser
 
 
@@ -76,11 +87,16 @@ def _cmd_run(
     scale_name: str | None,
     seed: int,
     shards: int | None = None,
+    faults: str | None = None,
 ) -> int:
     if shards is not None:
         from repro.simulation.sharding import set_shard_count
 
         set_shard_count(shards)
+    if faults is not None:
+        from repro.simulation.faults import set_fault_schedule
+
+        set_fault_schedule(faults)
     scale = get_scale(scale_name)
     if len(exp_ids) == 1 and exp_ids[0].lower() == "all":
         exp_ids = sorted(EXPERIMENTS)
@@ -105,7 +121,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiments, args.scale, args.seed, args.shards)
+        return _cmd_run(
+            args.experiments, args.scale, args.seed, args.shards, args.faults
+        )
     return 2  # pragma: no cover - argparse enforces the subcommands
 
 

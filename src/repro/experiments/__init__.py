@@ -21,6 +21,7 @@ from repro.experiments.dynamics import DynamicsTrace, run_dynamics_experiment
 from repro.experiments.extensions import (
     exp_ext_churn,
     exp_ext_drift,
+    exp_shard_outage,
     exp_ext_latency,
     exp_ext_privacy,
 )
@@ -46,6 +47,7 @@ EXPERIMENTS.setdefault("ext-churn", exp_ext_churn)
 EXPERIMENTS.setdefault("ext-privacy", exp_ext_privacy)
 EXPERIMENTS.setdefault("ext-latency", exp_ext_latency)
 EXPERIMENTS.setdefault("ext-drift", exp_ext_drift)
+EXPERIMENTS.setdefault("shard-outage", exp_shard_outage)
 
 __all__ = [
     "DynamicsTrace",
@@ -72,6 +74,7 @@ __all__ = [
     "exp_ext_privacy",
     "exp_ext_latency",
     "exp_ext_drift",
+    "exp_shard_outage",
     "exp_ablation_metrics",
     "exp_ablation_rps_view",
     "exp_ablation_window",

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.network.message import Envelope, MessageKind
 
-__all__ = ["TrafficStats"]
+__all__ = ["TrafficStats", "RecoveryStats"]
 
 
 @dataclass
@@ -147,3 +147,59 @@ class TrafficStats:
             self.delivered[kind] += other.delivered[kind]
             self.dropped[kind] += other.dropped[kind]
             self.bytes_delivered[kind] += other.bytes_delivered[kind]
+
+
+@dataclass
+class RecoveryStats:
+    """Fault-plane and self-healing counters of one sharded run.
+
+    Maintained by the :class:`~repro.simulation.sharding.ShardedCycleEngine`
+    supervisor (checkpoints, recoveries) and its workers' mailbox fabric
+    (chunk retries, CRC failures, duplicate drops).  All zeros on a
+    fault-free run with supervision off — the counters exist so the
+    acceptance question "what did the run survive?" has a recorded answer.
+    """
+
+    #: mailbox chunks retransmitted (timeout or NACK-triggered)
+    chunk_retries: int = 0
+    #: chunks whose CRC failed validation at the receiver
+    crc_failures: int = 0
+    #: duplicate chunks discarded by sequence-number dedup
+    dup_chunks: int = 0
+    #: worker processes observed dead (crash fault, SIGKILL, wedged-killed)
+    worker_deaths: int = 0
+    #: rollback-replay recoveries performed
+    recoveries: int = 0
+    #: cycles of discarded work re-executed after rollbacks
+    replayed_cycles: int = 0
+    #: cycles during which a recovered shard's population ran churned-offline
+    degraded_cycles: int = 0
+    #: checkpoints taken / their total pickled size
+    checkpoints: int = 0
+    checkpoint_bytes: int = 0
+
+    def merge(self, other: "RecoveryStats") -> None:
+        """Accumulate counters from another stats object in place."""
+        self.chunk_retries += other.chunk_retries
+        self.crc_failures += other.crc_failures
+        self.dup_chunks += other.dup_chunks
+        self.worker_deaths += other.worker_deaths
+        self.recoveries += other.recoveries
+        self.replayed_cycles += other.replayed_cycles
+        self.degraded_cycles += other.degraded_cycles
+        self.checkpoints += other.checkpoints
+        self.checkpoint_bytes += other.checkpoint_bytes
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict form (bench JSON, experiment reports, CLI)."""
+        return {
+            "chunk_retries": self.chunk_retries,
+            "crc_failures": self.crc_failures,
+            "dup_chunks": self.dup_chunks,
+            "worker_deaths": self.worker_deaths,
+            "recoveries": self.recoveries,
+            "replayed_cycles": self.replayed_cycles,
+            "degraded_cycles": self.degraded_cycles,
+            "checkpoints": self.checkpoints,
+            "checkpoint_bytes": self.checkpoint_bytes,
+        }

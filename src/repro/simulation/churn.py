@@ -22,7 +22,7 @@ from repro.utils.validation import check_non_negative, check_probability
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulation.engine import CycleEngine
 
-__all__ = ["ChurnModel"]
+__all__ = ["ChurnModel", "CorrelatedOutageChurn"]
 
 
 class ChurnModel:
@@ -96,4 +96,72 @@ class ChurnModel:
         return (
             f"ChurnModel(kill_rate={self.kill_rate}, "
             f"rejoin_after={self.rejoin_after}, kills={self.total_kills})"
+        )
+
+
+class CorrelatedOutageChurn:
+    """A deterministic, shard-aligned mass outage.
+
+    At ``start_cycle`` every node with ``node_id % n_classes ==
+    target_class`` goes offline at once — exactly the population one
+    shard of an ``N = n_classes`` run owns (:func:`shard_of` is ``id %
+    N``) — and the whole class returns ``down_for`` cycles later.  This
+    is ROADMAP item 4's "regional churn": unlike :class:`ChurnModel`'s
+    independent per-node coin flips, the failures here are perfectly
+    correlated, the worst case for a gossip overlay (an entire region of
+    the id space vanishes, taking its view entries and in-flight items
+    with it).
+
+    No RNG is consumed, so adding the model to a run perturbs no other
+    stream — with and without the outage are comparable draw-for-draw.
+    The counters mirror :class:`ChurnModel` so shard-merge accounting
+    and experiment reports treat both models uniformly.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        target_class: int = 0,
+        start_cycle: int = 10,
+        down_for: int = 10,
+        protected: frozenset[int] | set[int] = frozenset(),
+    ) -> None:
+        if n_classes < 1:
+            raise ValueError("n_classes must be >= 1")
+        if not (0 <= target_class < n_classes):
+            raise ValueError("target_class must be within [0, n_classes)")
+        check_non_negative("start_cycle", start_cycle)
+        if down_for < 1:
+            raise ValueError("down_for must be >= 1")
+        self.n_classes = int(n_classes)
+        self.target_class = int(target_class)
+        self.start_cycle = int(start_cycle)
+        self.down_for = int(down_for)
+        self.protected = frozenset(protected)
+        self.total_kills = 0
+        self.total_rejoins = 0
+
+    def apply(self, engine: "CycleEngine", now: int) -> None:
+        """Engine hook: fire the outage / the recovery at their cycles."""
+        if now == self.start_cycle:
+            for nid, node in engine.nodes.items():
+                if nid % self.n_classes != self.target_class:
+                    continue
+                if nid in self.protected or not node.alive:
+                    continue
+                node.alive = False
+                self.total_kills += 1
+        elif now == self.start_cycle + self.down_for:
+            for nid, node in engine.nodes.items():
+                if nid % self.n_classes != self.target_class:
+                    continue
+                if nid in self.protected or node.alive:
+                    continue
+                node.alive = True
+                self.total_rejoins += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CorrelatedOutageChurn(class={self.target_class}/{self.n_classes}, "
+            f"start={self.start_cycle}, down_for={self.down_for})"
         )

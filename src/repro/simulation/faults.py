@@ -1,0 +1,380 @@
+"""Deterministic fault injection for the process-sharded engine.
+
+WHATSUP's headline robustness claim — the gossip protocols tolerate loss
+and churn (Section V-D runs on PlanetLab under heterogeneous losses and
+overloaded nodes) — is exercised by the transports and the churn models.
+This module brings the same discipline to the one layer that previously
+had no failure story: the sharded runtime itself.  A
+:class:`FaultSchedule` injects *infrastructure* faults — worker crashes,
+worker stalls, mailbox chunk drops/duplications/delays/corruption, arena
+corruption — at chosen ``(cycle, shard, phase)`` points, and the
+self-healing machinery in :mod:`repro.simulation.sharding` must absorb
+them (see ARCHITECTURE.md, "Fault plane & recovery").
+
+Determinism contract
+--------------------
+
+Every fault fires at an explicitly scheduled point, and probabilistic
+events draw from per-shard generators derived with the same
+:class:`numpy.random.SeedSequence` spawning as every other stream in the
+tree — so the same ``(seed, schedule)`` pair produces bitwise-identical
+runs, including the crashes, the recoveries and the final state.  With
+``REPRO_FAULTS`` unset nothing in this module is consulted on any hot
+path.
+
+Schedule format
+---------------
+
+``REPRO_FAULTS`` (or :func:`set_fault_schedule`) accepts either
+
+* a JSON object ``{"seed": 0, "events": [{"kind": "crash", "cycle": 5,
+  "shard": 1, "phase": "q"}, ...]}`` — inline or as a file path; or
+* a compact DSL: ``kind@cycle:shard[:phase[:param]]`` joined by commas,
+  e.g. ``crash@5:1:q,stall@8:2:open:0.2,drop_chunk@3:0:i``.
+
+Phases name the worker-side injection points of one cycle:
+``open`` (before sub-cycle A), then the three mailbox barriers
+``q`` / ``r`` / ``i`` (requests, replies, items).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FAULT_KINDS",
+    "PHASES",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "InjectedFailure",
+    "fault_schedule",
+    "set_fault_schedule",
+    "faults",
+]
+
+#: recognised fault kinds; "crash"/"stall"/"corrupt_arena" hit a worker at
+#: a phase boundary, the "*_chunk" kinds hit individual mailbox chunks in
+#: flight at a barrier
+FAULT_KINDS = frozenset(
+    {
+        "crash",
+        "stall",
+        "corrupt_arena",
+        "drop_chunk",
+        "dup_chunk",
+        "delay_chunk",
+        "corrupt_chunk",
+    }
+)
+
+#: worker-side injection points within one cycle, in execution order
+PHASES = ("open", "q", "r", "i")
+
+_CHUNK_KINDS = frozenset({"drop_chunk", "dup_chunk", "delay_chunk", "corrupt_chunk"})
+
+
+class InjectedFailure(Exception):
+    """A scheduled fault that a worker must surface to its supervisor."""
+
+    def __init__(self, kind: str, cycle: int, shard: int) -> None:
+        super().__init__(f"injected {kind} at cycle {cycle} on shard {shard}")
+        self.kind = kind
+        self.cycle = cycle
+        self.shard = shard
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    cycle / shard:
+        The injection point: the shard's engine clock when the fault
+        fires (``cycle`` is the worker's ``cycles_run`` tag).
+    phase:
+        Injection point within the cycle (:data:`PHASES`); chunk faults
+        apply to the barrier of that phase (``q``/``r``/``i``).
+    param:
+        Kind-specific knob: stall/delay duration in seconds (stall
+        default 0.05), otherwise unused.
+    prob:
+        When < 1, the event fires with this probability per matching
+        point, drawn from the schedule's seeded per-shard stream.
+    """
+
+    kind: str
+    cycle: int
+    shard: int
+    phase: str = "q"
+    param: float = 0.0
+    prob: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.phase not in PHASES:
+            raise ValueError(f"unknown fault phase {self.phase!r}")
+        if self.cycle < 0 or self.shard < 0:
+            raise ValueError("fault cycle/shard must be >= 0")
+        if not (0.0 <= self.prob <= 1.0):
+            raise ValueError("fault prob must be within [0, 1]")
+
+    @property
+    def key(self) -> tuple:
+        """Stable identity used for replay suppression of fatal events."""
+        return (self.kind, self.cycle, self.shard, self.phase)
+
+
+@dataclass
+class FaultSchedule:
+    """A seeded, explicit list of fault events.
+
+    The schedule is immutable in use; workers receive it pickled at init
+    and consult only their own shard's events through a
+    :class:`FaultInjector`.
+    """
+
+    events: list[FaultEvent] = field(default_factory=list)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.events = sorted(
+            self.events, key=lambda e: (e.cycle, e.shard, PHASES.index(e.phase), e.kind)
+        )
+
+    def for_shard(self, shard: int) -> list[FaultEvent]:
+        """The events targeting *shard*, in firing order."""
+        return [e for e in self.events if e.shard == shard]
+
+    def to_spec(self) -> str:
+        """Serialise back to the JSON spec form."""
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "events": [
+                    {
+                        "kind": e.kind,
+                        "cycle": e.cycle,
+                        "shard": e.shard,
+                        "phase": e.phase,
+                        "param": e.param,
+                        "prob": e.prob,
+                    }
+                    for e in self.events
+                ],
+            }
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultSchedule":
+        """Parse a JSON object, a JSON file path, or the compact DSL."""
+        text = spec.strip()
+        if not text:
+            return cls([])
+        if not text.startswith("{") and os.path.isfile(text):
+            with open(text, "r", encoding="utf-8") as fh:
+                text = fh.read().strip()
+        if text.startswith("{"):
+            data = json.loads(text)
+            events = [
+                FaultEvent(
+                    kind=str(e["kind"]),
+                    cycle=int(e["cycle"]),
+                    shard=int(e["shard"]),
+                    phase=str(e.get("phase", "q")),
+                    param=float(e.get("param", 0.0)),
+                    prob=float(e.get("prob", 1.0)),
+                )
+                for e in data.get("events", [])
+            ]
+            return cls(events, seed=int(data.get("seed", 0)))
+        events = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _, point = part.partition("@")
+            bits = point.split(":")
+            if len(bits) < 2:
+                raise ValueError(
+                    f"bad fault spec {part!r}: need kind@cycle:shard[:phase[:param]]"
+                )
+            events.append(
+                FaultEvent(
+                    kind=kind.strip(),
+                    cycle=int(bits[0]),
+                    shard=int(bits[1]),
+                    phase=bits[2] if len(bits) > 2 else "q",
+                    param=float(bits[3]) if len(bits) > 3 else 0.0,
+                )
+            )
+        return cls(events)
+
+
+# --------------------------------------------------------------------------- #
+# module gate                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+def _env_schedule() -> FaultSchedule | None:
+    raw = os.environ.get("REPRO_FAULTS", "").strip()
+    if not raw:
+        return None
+    return FaultSchedule.parse(raw)
+
+
+_schedule: FaultSchedule | None = _env_schedule()
+
+
+def fault_schedule() -> FaultSchedule | None:
+    """The active fault schedule, or ``None`` (the default: no faults)."""
+    return _schedule
+
+
+def set_fault_schedule(
+    schedule: "FaultSchedule | str | None",
+) -> FaultSchedule | None:
+    """Install a fault schedule; returns the previous one.
+
+    Accepts a :class:`FaultSchedule`, a spec string (JSON/DSL/file path),
+    or ``None`` to disable injection.  Consulted when a sharded engine is
+    *constructed*; running engines keep the schedule they started with.
+    """
+    global _schedule
+    previous = _schedule
+    if isinstance(schedule, str):
+        schedule = FaultSchedule.parse(schedule)
+    _schedule = schedule
+    return previous
+
+
+@contextmanager
+def faults(schedule: "FaultSchedule | str | None"):
+    """Context manager pinning the fault schedule, restoring on exit."""
+    previous = set_fault_schedule(schedule)
+    try:
+        yield
+    finally:
+        set_fault_schedule(previous)
+
+
+# --------------------------------------------------------------------------- #
+# the worker-side injector                                                    #
+# --------------------------------------------------------------------------- #
+
+
+class FaultInjector:
+    """Fires one shard's scheduled faults at its engine's phase points.
+
+    Parameters
+    ----------
+    schedule / shard:
+        The full schedule and the owning shard; only this shard's events
+        are retained.
+    suppressed:
+        Event keys that already fired in a previous incarnation of this
+        worker — a respawned worker must not replay its own crash.
+    notify:
+        Callback invoked with an event's :attr:`FaultEvent.key` just
+        before a *fatal* event executes, so the supervisor can add it to
+        the suppression set of the next respawn even when the event kills
+        the process before any reply is sent.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        shard: int,
+        suppressed: "set[tuple] | frozenset[tuple]" = frozenset(),
+        notify=None,
+    ) -> None:
+        self.shard = int(shard)
+        self.seed = schedule.seed
+        self._notify = notify
+        self._fired: set[tuple] = set(suppressed)
+        self._events = [
+            e for e in schedule.for_shard(self.shard) if e.key not in self._fired
+        ]
+        self._rng = None  # lazily spawned; most schedules are prob=1
+
+    def _roll(self, event: FaultEvent) -> bool:
+        if event.prob >= 1.0:
+            return True
+        if self._rng is None:
+            from repro.utils.rng import spawn_generator
+
+            self._rng = spawn_generator(self.seed, f"faults/shard{self.shard}")
+        return bool(self._rng.random() < event.prob)
+
+    def _take(self, cycle: int, phase: str, kinds: frozenset) -> list[FaultEvent]:
+        hits = []
+        for event in self._events:
+            if (
+                event.cycle == cycle
+                and event.phase == phase
+                and event.kind in kinds
+                and event.key not in self._fired
+                and self._roll(event)
+            ):
+                hits.append(event)
+        for event in hits:
+            self._fired.add(event.key)
+        return hits
+
+    # -- phase-boundary faults (crash / stall / corrupt_arena) -------------- #
+
+    def at_phase(self, cycle: int, phase: str) -> None:
+        """Fire any worker-level fault scheduled at ``(cycle, phase)``.
+
+        ``stall`` sleeps and continues; ``crash`` hard-exits the process
+        (simulating SIGKILL — no cleanup, peers see EOF); and
+        ``corrupt_arena`` raises :class:`InjectedFailure` after the
+        caller-provided scribbler has damaged the arena, modelling
+        checksum-detected state corruption.
+        """
+        fatal = frozenset({"crash", "stall", "corrupt_arena"})
+        for event in self._take(cycle, phase, fatal):
+            if self._notify is not None:
+                try:
+                    self._notify(event.key)
+                except Exception:  # pragma: no cover - parent went away
+                    pass
+            if event.kind == "stall":
+                import time
+
+                time.sleep(event.param if event.param > 0 else 0.05)
+            elif event.kind == "crash":
+                os._exit(17)
+            else:  # corrupt_arena: caller scribbles, supervisor restores
+                raise InjectedFailure(event.kind, cycle, self.shard)
+
+    # -- chunk faults (consulted by the mailbox fabric) ---------------------- #
+
+    def chunk_fault(self, cycle: int, phase: str) -> "str | None":
+        """The chunk fault to apply to the next outgoing chunk, if any.
+
+        Returns one of ``"drop"`` / ``"dup"`` / ``"delay"`` /
+        ``"corrupt"`` (with :attr:`last_param` holding the event's knob),
+        or ``None``.  Each scheduled chunk event fires exactly once.
+        """
+        hits = self._take(cycle, phase, _CHUNK_KINDS)
+        if not hits:
+            return None
+        event = hits[0]
+        # one chunk fault per send point keeps the injection deterministic
+        for extra in hits[1:]:
+            self._fired.discard(extra.key)
+        self.last_param = event.param
+        return event.kind[: -len("_chunk")]
+
+    @property
+    def fired(self) -> frozenset:
+        """Keys of events that have fired (includes the suppression set)."""
+        return frozenset(self._fired)

@@ -94,8 +94,10 @@ from __future__ import annotations
 import itertools
 import os
 import pickle
+import time
 import traceback
 import warnings
+import zlib
 from contextlib import contextmanager
 from typing import Iterable
 
@@ -105,11 +107,12 @@ from multiprocessing.connection import wait as _conn_wait
 import numpy as np
 
 from repro.network.message import MessageKind, payload_wire_size
-from repro.network.stats import TrafficStats
+from repro.network.stats import RecoveryStats, TrafficStats
 from repro.network.transport import PerfectTransport, Transport
 from repro.simulation.delivery import delivery_batching_enabled
 from repro.simulation.engine import CycleEngine
-from repro.simulation.events import DisseminationLog
+from repro.simulation.events import DisseminationLog, FaultLog
+from repro.simulation.faults import FaultInjector, InjectedFailure, fault_schedule
 from repro.simulation.node import BaseNode
 from repro.simulation.schedule import PublicationSchedule
 from repro.utils.exceptions import SimulationError
@@ -125,6 +128,8 @@ __all__ = [
     "shard_of",
     "ShardRngStreams",
     "ShardedCycleEngine",
+    "PeerLostError",
+    "PeerStalledError",
     "make_engine",
 ]
 
@@ -158,7 +163,58 @@ _INLINE_CHUNK = 32 * 1024
 #: parent-side timeout waiting on a worker reply, seconds
 _CTRL_TIMEOUT = float(os.environ.get("REPRO_SHARD_TIMEOUT", "600"))
 
+#: total per-barrier deadline on the worker-to-worker chunk exchange; the
+#: old protocol waited forever — this bounds a wedged barrier instead
+_EXCHANGE_TIMEOUT = float(os.environ.get("REPRO_SHARD_EXCHANGE_TIMEOUT", "600"))
+
+#: bounded chunk retransmissions per peer within one barrier
+_EXCHANGE_RETRIES = max(1, int(os.environ.get("REPRO_SHARD_RETRIES", "4")))
+
+#: first retransmission/heartbeat wait, seconds; doubles per idle round
+_BACKOFF_BASE = max(0.005, float(os.environ.get("REPRO_SHARD_BACKOFF", "5.0")))
+
+#: synchronized worker-state checkpoint cadence, in cycles (supervised runs)
+_CKPT_EVERY = max(1, int(os.environ.get("REPRO_SHARD_CHECKPOINT", "8")))
+
+#: degraded-mode offline window after a recovery, cycles (0 = one
+#: checkpoint interval)
+_DEGRADED_FOR = max(0, int(os.environ.get("REPRO_SHARD_DEGRADED", "0")))
+
+#: rollback-replay attempts before a supervised run gives up
+_MAX_RECOVERIES = max(1, int(os.environ.get("REPRO_SHARD_MAX_RECOVERIES", "8")))
+
 _ARENA_ALIGN = 64
+
+
+def _env_recovery() -> str:
+    raw = os.environ.get("REPRO_SHARD_RECOVERY", "auto").strip().lower()
+    return raw if raw in ("off", "restore", "degraded", "auto") else "auto"
+
+
+class _PeerFailure(Exception):
+    """A worker could not complete a barrier with one or more peers."""
+
+    def __init__(self, shard: int, peers, tag, reason: str) -> None:
+        super().__init__(
+            f"shard {shard} barrier {tag!r}: {reason} (peers {sorted(peers)})"
+        )
+        self.shard = shard
+        self.peers = sorted(peers)
+        self.tag = tag
+
+
+class PeerLostError(_PeerFailure):
+    """A peer worker's pipe closed mid-barrier (the process died)."""
+
+    def __init__(self, shard: int, peer: int, tag) -> None:
+        super().__init__(shard, [peer], tag, "peer connection lost")
+
+
+class PeerStalledError(_PeerFailure):
+    """A peer exceeded the barrier deadline or the retransmission budget."""
+
+    def __init__(self, shard: int, peers, tag, reason: str = "deadline exceeded") -> None:
+        super().__init__(shard, peers, tag, reason)
 
 
 def shard_count() -> int:
@@ -452,82 +508,217 @@ class _PeerLinks:
     blob sizes.  Chunks from a *future* barrier (a fast peer may run
     ahead by up to two sub-cycles, never a full cycle) are acknowledged
     and stashed for that barrier's own :meth:`exchange` call.
+
+    Unlike the first-generation protocol (which waited forever on a
+    silent peer), every chunk now carries a sequence number and a CRC32,
+    and the wait loop is deadline-bounded:
+
+    * a CRC mismatch at the receiver triggers a NACK and a bounded
+      re-request of the same chunk (corruption self-heals on the wire);
+    * duplicate sequence numbers are re-acknowledged and dropped, so
+      retransmissions and duplication faults are idempotent;
+    * an idle wait retransmits the in-flight chunk with exponential
+      backoff (a lost chunk or ack self-heals) and probes silent peers
+      with a heartbeat — a peer inside its own exchange answers, which
+      proves liveness without involving the parent;
+    * a peer whose pipe reports EOF raises :class:`PeerLostError`
+      immediately, and a peer silent past the total deadline (or past
+      the retransmission budget) raises :class:`PeerStalledError` —
+      both surface to the parent supervisor instead of hanging the run.
     """
 
-    def __init__(self, shard: int, conns: dict, out_segs: dict, in_segs: dict):
+    def __init__(
+        self,
+        shard: int,
+        conns: dict,
+        out_segs: dict,
+        in_segs: dict,
+        injector: "FaultInjector | None" = None,
+        wire: dict | None = None,
+    ):
         self.shard = shard
         self.conns = conns  # peer shard -> Connection
         self.out_segs = out_segs  # peer shard -> SharedMemory | absent
         self.in_segs = in_segs
         self._conn_src = {conn: peer for peer, conn in conns.items()}
         self._stash: dict = {}  # tag -> {src: [(bytes, last), ...]}
+        self._rseq: dict = {}  # (src, tag) -> last in-order seq accepted
         self.shm_bytes = 0
         self.inline_bytes = 0
+        self.chunk_retries = 0
+        self.crc_failures = 0
+        self.dup_chunks = 0
+        self._reported = (0, 0, 0)
+        self.injector = injector
+        wire = wire or {}
+        self.timeout = float(wire.get("timeout", _EXCHANGE_TIMEOUT))
+        self.retries = int(wire.get("retries", _EXCHANGE_RETRIES))
+        self.backoff = float(wire.get("backoff", _BACKOFF_BASE))
+
+    def take_deltas(self) -> dict:
+        """Self-healing counter deltas since the previous report."""
+        cur = (self.chunk_retries, self.crc_failures, self.dup_chunks)
+        prev = self._reported
+        self._reported = cur
+        return {
+            "chunk_retries": cur[0] - prev[0],
+            "crc_failures": cur[1] - prev[1],
+            "dup_chunks": cur[2] - prev[2],
+        }
 
     def _chunk_size(self, peer: int) -> int:
         seg = self.out_segs.get(peer)
         return seg.size if seg is not None else _INLINE_CHUNK
 
-    def _send_next(self, peer: int, tag, queues: dict, awaiting: dict):
-        queue = queues[peer]
-        if not queue:
-            awaiting[peer] = False
-            return
-        chunk = queue.pop(0)
-        last = not queue
+    def _transmit(
+        self, peer: int, tag, seq: int, chunk: bytes, last: bool, fault=None
+    ) -> None:
+        """Ship one chunk (or apply a scheduled chunk fault to it).
+
+        The CRC is always computed over the clean payload, so an injected
+        corruption is guaranteed to be caught at the receiver.
+        """
+        conn = self.conns[peer]
+        crc = zlib.crc32(chunk)
+        if fault == "delay":
+            param = getattr(self.injector, "last_param", 0.0)
+            time.sleep(param if param > 0 else 0.02)
         seg = self.out_segs.get(peer)
         if seg is not None and len(chunk) <= seg.size:
             seg.buf[: len(chunk)] = chunk
-            self.conns[peer].send(("d", tag, len(chunk), last, None))
+            if fault == "corrupt" and len(chunk):
+                seg.buf[0] = seg.buf[0] ^ 0xFF
+            if fault != "drop":
+                conn.send(("d", tag, seq, len(chunk), last, crc, None))
+                if fault == "dup":
+                    conn.send(("d", tag, seq, len(chunk), last, crc, None))
             self.shm_bytes += len(chunk)
         else:
-            self.conns[peer].send(("d", tag, len(chunk), last, chunk))
+            wire_chunk = chunk
+            if fault == "corrupt" and len(chunk):
+                wire_chunk = bytes([chunk[0] ^ 0xFF]) + chunk[1:]
+            if fault != "drop":
+                conn.send(("d", tag, seq, len(chunk), last, crc, wire_chunk))
+                if fault == "dup":
+                    conn.send(("d", tag, seq, len(chunk), last, crc, wire_chunk))
             self.inline_bytes += len(chunk)
-        awaiting[peer] = True
 
     def exchange(self, tag, outgoing: dict) -> list:
         """Run one barrier; returns ``[(src_shard, blob), ...]`` sorted."""
         peers = sorted(self.conns)
         if not peers:
             return []
-        queues = {}
+        chunks = {}
         for peer in peers:
             blob = outgoing.get(peer, b"")
             size = self._chunk_size(peer)
-            queues[peer] = [
+            chunks[peer] = [
                 blob[i : i + size] for i in range(0, len(blob), size)
             ] or [b""]
         bufs = {peer: [] for peer in peers}
         need_recv = set(peers)
-        awaiting: dict = {}
+        inflight: dict = {peer: None for peer in peers}  # seq in flight
 
         # drain chunks a fast peer already pushed for this barrier
-        for src, chunks in self._stash.pop(tag, {}).items():
-            for data, last in chunks:
+        for src, held in self._stash.pop(tag, {}).items():
+            for data, last in held:
                 bufs[src].append(data)
                 if last:
                     need_recv.discard(src)
 
+        cycle, phase = (tag[0], tag[1]) if isinstance(tag, tuple) else (tag, "q")
+        injector = self.injector
+
+        def send_next(peer: int) -> None:
+            seq = inflight[peer]
+            seq = 0 if seq is None else seq + 1
+            if seq >= len(chunks[peer]):
+                inflight[peer] = None
+                return
+            fault = None
+            if injector is not None:
+                fault = injector.chunk_fault(cycle, phase)
+            self._transmit(
+                peer, tag, seq, chunks[peer][seq], seq == len(chunks[peer]) - 1, fault
+            )
+            inflight[peer] = seq
+
+        # stop-and-wait per peer: at most one unacknowledged chunk in
+        # flight, so a retransmission can never overwrite staged bytes a
+        # receiver has yet to read
+        acked = {peer: -1 for peer in peers}
         for peer in peers:
-            self._send_next(peer, tag, queues, awaiting)
+            send_next(peer)
 
         conns = list(self.conns.values())
-        while (
-            need_recv
-            or any(awaiting.get(p) for p in peers)
-            or any(queues[p] for p in peers)
-        ):
-            for conn in _conn_wait(conns):
+        deadline = time.monotonic() + self.timeout
+        resends = {peer: 0 for peer in peers}
+        idle = 0
+        while need_recv or any(s is not None for s in inflight.values()):
+            now = time.monotonic()
+            if now >= deadline:
+                stalled = sorted(
+                    set(need_recv) | {p for p in peers if inflight[p] is not None}
+                )
+                raise PeerStalledError(self.shard, stalled, tag)
+            wait_for = min(self.backoff * (2 ** min(idle, 6)), deadline - now)
+            ready = _conn_wait(conns, wait_for)
+            if not ready:
+                idle += 1
+                # the in-flight chunk (or its ack) may be lost: bounded
+                # retransmission with exponential backoff
+                for peer in peers:
+                    seq = inflight[peer]
+                    if seq is None:
+                        continue
+                    if resends[peer] >= self.retries:
+                        raise PeerStalledError(
+                            self.shard, [peer], tag, "retransmission budget exhausted"
+                        )
+                    resends[peer] += 1
+                    self.chunk_retries += 1
+                    self._transmit(
+                        peer, tag, seq, chunks[peer][seq], seq == len(chunks[peer]) - 1
+                    )
+                # probe peers we are still owed data by; a dead peer's
+                # pipe raises, a live one inside exchange answers
+                for peer in sorted(need_recv):
+                    if inflight[peer] is not None:
+                        continue  # the retransmission above already probes
+                    try:
+                        self.conns[peer].send(("h", tag))
+                    except (BrokenPipeError, OSError):
+                        raise PeerLostError(self.shard, peer, tag) from None
+                continue
+            for conn in ready:
                 src = self._conn_src[conn]
-                msg = conn.recv()
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    raise PeerLostError(self.shard, src, tag) from None
                 op = msg[0]
                 if op == "d":
-                    _, mtag, nbytes, last, inline = msg
+                    _, mtag, seq, nbytes, last, crc, inline = msg
+                    key = (src, mtag)
+                    expect = self._rseq.get(key, -1) + 1
+                    if seq < expect:
+                        # duplicate (dup fault, or retransmit after a
+                        # lost ack): re-ack without touching the staged
+                        # bytes — they may already hold the next chunk
+                        self.dup_chunks += 1
+                        conn.send(("a", mtag, seq))
+                        continue
                     if inline is None:
                         data = bytes(self.in_segs[src].buf[:nbytes])
                     else:
                         data = inline
-                    conn.send(("a", mtag))
+                    if zlib.crc32(data) != crc:
+                        # corrupted in staging/flight: re-request
+                        self.crc_failures += 1
+                        conn.send(("n", mtag, seq))
+                        continue
+                    self._rseq[key] = seq
+                    conn.send(("a", mtag, seq))
                     if mtag == tag:
                         bufs[src].append(data)
                         if last:
@@ -536,11 +727,42 @@ class _PeerLinks:
                         held = self._stash.setdefault(mtag, {})
                         held.setdefault(src, []).append((data, last))
                 elif op == "a":
-                    # acks are never early: we only advance past a barrier
-                    # once all our chunks for it are acknowledged
-                    self._send_next(src, tag, queues, awaiting)
+                    if msg[1] == tag and inflight[src] == msg[2]:
+                        acked[src] = msg[2]
+                        resends[src] = 0
+                        idle = 0
+                        send_next(src)
+                elif op == "n":
+                    # receiver saw a CRC mismatch: re-send the same chunk
+                    if msg[1] == tag and inflight[src] == msg[2]:
+                        if resends[src] >= self.retries:
+                            raise PeerStalledError(
+                                self.shard,
+                                [src],
+                                tag,
+                                "persistent chunk corruption",
+                            )
+                        resends[src] += 1
+                        self.chunk_retries += 1
+                        seq = inflight[src]
+                        self._transmit(
+                            src,
+                            tag,
+                            seq,
+                            chunks[src][seq],
+                            seq == len(chunks[src]) - 1,
+                        )
+                elif op == "h":
+                    try:
+                        conn.send(("hb", msg[1]))
+                    except (BrokenPipeError, OSError):
+                        raise PeerLostError(self.shard, src, tag) from None
+                elif op == "hb":
+                    idle = 0  # peer is alive inside its exchange
                 else:  # pragma: no cover - protocol violation
                     raise SimulationError(f"bad mailbox message {msg[:2]}")
+        for src in peers:
+            self._rseq.pop((src, tag), None)
         return [(peer, b"".join(bufs[peer])) for peer in peers]
 
 
@@ -589,6 +811,48 @@ class _ShardEngine(CycleEngine):
         self._intern_in: dict[int, dict] = {d: {} for d in peers}
         self._cycle_inbox: dict = {}
         self._cycle_batching = False
+        #: degraded-mode window: population offline until this cycle
+        self._degraded_until: int | None = None
+
+    # -- degraded mode ------------------------------------------------------- #
+
+    def begin_degraded(self, until: int) -> int:
+        """Take this shard's whole population churned-offline until *until*.
+
+        Used after a crash recovery in ``degraded`` mode: rather than
+        replaying the dead shard's state, its users are reported offline
+        — gossip routes around them exactly as it routes around churned
+        nodes, and the ChurnModel counters account the outage — until the
+        window closes and :meth:`_degraded_tick` brings them back.
+        Returns the number of nodes taken down.
+        """
+        self._degraded_until = int(until)
+        downed = []
+        for nid, node in self.nodes.items():
+            if node.alive:
+                node.alive = False
+                downed.append(nid)
+        if self.churn is not None:
+            self.churn.total_kills += len(downed)
+        self._degraded_ids = downed
+        return len(downed)
+
+    def _degraded_tick(self, now: int) -> None:
+        if self._degraded_until is None:
+            return
+        if now >= self._degraded_until:
+            revived = 0
+            # revive only the nodes the degrade took down — nodes the
+            # churn model had already killed keep its revival schedule
+            for nid in getattr(self, "_degraded_ids", ()):
+                node = self.nodes.get(nid)
+                if node is not None and not node.alive:
+                    node.alive = True
+                    revived += 1
+            if self.churn is not None:
+                self.churn.total_rejoins += revived
+            self._degraded_until = None
+            self._degraded_ids = []
 
     # -- mailbox plumbing -------------------------------------------------- #
 
@@ -644,6 +908,7 @@ class _ShardEngine(CycleEngine):
     def shard_phase_open(self) -> None:
         """Sub-cycle A: churn, inbox hand-over, publications, local gossip."""
         now = self.now
+        self._degraded_tick(now)
         # bound the interning tables: both ends of a link grow them in
         # lock-step (one entry per first-crossing uid, all of a cycle's
         # blobs consumed within the cycle), so this size rule fires at
@@ -807,14 +1072,59 @@ class _ShardWorker:
         self.engine: _ShardEngine | None = None
         self.links: _PeerLinks | None = None
         self.arena: _ShardArena | None = None
+        self.injector: FaultInjector | None = None
+        self._wire: dict = {}
         self._arena_views: list = []
         self._segs: list = []
+
+    # -- fault plumbing ------------------------------------------------------ #
+
+    def _setup_faults(self, spec: dict) -> None:
+        self._wire = spec.get("wire") or {}
+        schedule = spec.get("faults")
+        if schedule is None:
+            self.injector = None
+            return
+        ctrl = self.ctrl
+
+        def notify(key):
+            # out-of-band: the parent learns a fatal fault fired even when
+            # the fault kills this process before any reply is sent
+            try:
+                ctrl.send(("fired", key))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+
+        self.injector = FaultInjector(
+            schedule,
+            self.shard,
+            suppressed=spec.get("suppressed", frozenset()),
+            notify=notify,
+        )
+
+    def _inject(self, cycle: int, phase: str) -> None:
+        if self.injector is None:
+            return
+        try:
+            self.injector.at_phase(cycle, phase)
+        except InjectedFailure as exc:
+            if exc.kind == "corrupt_arena":
+                self._corrupt_arena()
+            raise
+
+    def _corrupt_arena(self) -> None:
+        """Scribble the first arena-resident block (the injected damage)."""
+        for _nid, _name, _off, _alloc, view, block in self._arena_views:
+            if view._cols is block:
+                block[:, :] = -1
+                return
 
     # -- command handlers --------------------------------------------------- #
 
     def _init(self, blob: bytes) -> tuple:
         spec = _loads(blob)
         _apply_gates(spec["gates"])
+        self._setup_faults(spec)
 
         # disjoint snapshot-uid ranges per process: parent uids stay tiny,
         # worker i allocates from (i + 1) << 44 — cross-process uid
@@ -833,15 +1143,100 @@ class _ShardWorker:
             self.shard,
             self.n_shards,
         )
+        return ("ready", self._arena_need(spec["want_arena"]))
+
+    def _arena_need(self, want_arena: bool) -> int:
         need = 0
-        if spec["want_arena"]:
+        if want_arena:
             for node in self.engine.nodes.values():
                 for _name, view in _array_views_of(node):
                     alloc = max(view._alloc, 2 * view.capacity + 8)
                     need += 3 * 8 * alloc + _ARENA_ALIGN
             if need:
                 need += 4096
-        return ("ready", need)
+        return need
+
+    def _checkpoint(self) -> bytes:
+        """Pickle this shard's complete simulation state.
+
+        Everything :meth:`_restore` needs to resume bit-for-bit: nodes
+        (views pickle their columns even while arena-resident), RNG
+        streams mid-sequence, traffic/log/churn state, the engine clock
+        and pending counters, future item inboxes, the per-link interning
+        tables, and the next snapshot uid.  One uid is burnt per
+        checkpoint — at a fixed, supervised-only cadence — so a restored
+        worker allocates exactly the uids the original would have.
+        """
+        from repro.core.profiles import FrozenProfile
+
+        eng = self.engine
+        uid_next = next(FrozenProfile._uid_counter) + 1
+        FrozenProfile._uid_counter = itertools.count(uid_next)
+        churn = eng.churn
+        # defaultdict-of-defaultdict(list) holds unpicklable lambdas:
+        # flatten to plain dicts, rebuilt on restore
+        future = {
+            cycle: {nid: list(rows) for nid, rows in box.items()}
+            for cycle, box in eng._future_inboxes.items()
+        }
+        return _dumps(
+            {
+                "nodes": list(eng.nodes.values()),
+                "schedule": eng.schedule,
+                "transport": eng.transport,
+                "streams": eng.streams,
+                "churn": churn,
+                "stats": _stats_parts(eng.stats),
+                "log": eng.log,
+                "now": eng.now,
+                "cycles": eng.cycles_run,
+                "pending": eng._pending_items,
+                "future": future,
+                "intern_out": eng._intern_out,
+                "intern_in": eng._intern_in,
+                "uid_next": uid_next,
+                "degraded_until": eng._degraded_until,
+                "degraded_ids": getattr(eng, "_degraded_ids", []),
+            }
+        )
+
+    def _restore(self, blob: bytes) -> tuple:
+        """Rebuild the shard engine from a checkpoint (respawn path)."""
+        spec = _loads(blob)
+        _apply_gates(spec["gates"])
+        self._setup_faults(spec)
+
+        from repro.core.profiles import FrozenProfile
+
+        state = _loads(spec["state"])
+        FrozenProfile._uid_counter = itertools.count(state["uid_next"])
+        self.engine = _ShardEngine(
+            state["nodes"],
+            state["schedule"],
+            state["transport"],
+            state["streams"],
+            state["churn"],
+            self.shard,
+            self.n_shards,
+        )
+        eng = self.engine
+        _merge_stats_parts(eng.stats, state["stats"])
+        eng.log = state["log"]
+        eng.now = state["now"]
+        eng.cycles_run = state["cycles"]
+        eng._pending_items = state["pending"]
+        for cycle, box in state["future"].items():
+            inboxes = eng._future_inboxes[cycle]
+            for nid, rows in box.items():
+                inboxes[nid].extend(rows)
+        eng._intern_out = state["intern_out"]
+        eng._intern_in = state["intern_in"]
+        eng._degraded_until = state["degraded_until"]
+        eng._degraded_ids = state["degraded_ids"]
+        degrade = spec.get("degrade")
+        if degrade is not None:
+            eng.begin_degraded(degrade)
+        return ("ready", self._arena_need(spec["want_arena"]))
 
     def _attach(self, arena_name, out_names: dict, in_names: dict) -> tuple:
         adopted = 0
@@ -866,19 +1261,33 @@ class _ShardWorker:
         for peer, name in in_names.items():
             in_segs[peer] = _attach_shm(name)
             self._segs.append(in_segs[peer])
-        self.links = _PeerLinks(self.shard, self.peer_conns, out_segs, in_segs)
+        self.links = _PeerLinks(
+            self.shard,
+            self.peer_conns,
+            out_segs,
+            in_segs,
+            injector=self.injector,
+            wire=self._wire,
+        )
         return ("attached", adopted)
 
     def _one_cycle(self) -> None:
         eng = self.engine
         links = self.links
         tag = eng.cycles_run
+        # worker-level faults fire just before their phase's barrier, so
+        # a crash leaves the siblings wedged mid-exchange — the exact
+        # situation the deadline/heartbeat machinery must detect
+        self._inject(tag, "open")
         eng.shard_phase_open()
+        self._inject(tag, "q")
         req_in = links.exchange((tag, "q"), eng.take_mailbox(eng._req_out))
         eng.shard_phase_requests(req_in)
+        self._inject(tag, "r")
         rep_in = links.exchange((tag, "r"), eng.take_mailbox(eng._rep_out))
         eng.shard_phase_replies(rep_in)
         eng.shard_phase_deliver()
+        self._inject(tag, "i")
         item_in = links.exchange((tag, "i"), eng.take_mailbox(eng._item_out))
         eng.shard_ingest_items(item_in)
         eng.shard_phase_close()
@@ -958,12 +1367,27 @@ class _ShardWorker:
             try:
                 op = cmd[0]
                 if op == "run":
-                    for _ in range(cmd[1]):
-                        self._one_cycle()
-                    eng = self.engine
-                    ctrl.send(("ran", eng.now, eng._pending_items))
+                    try:
+                        for _ in range(cmd[1]):
+                            self._one_cycle()
+                    except _PeerFailure as exc:
+                        # a peer died or stalled: report and return to the
+                        # loop — the supervisor tears everyone down and
+                        # respawns from the checkpoint
+                        ctrl.send(("ran_failed", list(exc.peers), str(exc)))
+                    except InjectedFailure as exc:
+                        ctrl.send(("ran_failed", [self.shard], str(exc)))
+                    else:
+                        eng = self.engine
+                        links = self.links
+                        deltas = links.take_deltas() if links is not None else {}
+                        ctrl.send(("ran", eng.now, eng._pending_items, deltas))
                 elif op == "init":
                     ctrl.send(self._init(cmd[1]))
+                elif op == "restore":
+                    ctrl.send(self._restore(cmd[1]))
+                elif op == "checkpoint":
+                    ctrl.send(("ckpt", self._checkpoint()))
                 elif op == "attach":
                     ctrl.send(self._attach(cmd[1], cmd[2], cmd[3]))
                 elif op == "alive_ids":
@@ -984,6 +1408,9 @@ class _ShardWorker:
                             {
                                 "shm_bytes": links.shm_bytes,
                                 "inline_bytes": links.inline_bytes,
+                                "chunk_retries": links.chunk_retries,
+                                "crc_failures": links.crc_failures,
+                                "dup_chunks": links.dup_chunks,
                             },
                         )
                     )
@@ -1001,7 +1428,18 @@ class _ShardWorker:
                     break
 
 
-def _worker_main(shard: int, n_shards: int, ctrl, peer_conns) -> None:
+def _worker_main(
+    shard: int, n_shards: int, ctrl, peer_conns, close_conns=()
+) -> None:
+    # under a fork start every worker inherits ALL pipe ends created
+    # before its fork — including its siblings'.  Close them first, or a
+    # dead sibling's pipes never reach EOF (the surviving holders keep
+    # them open) and prompt crash detection is impossible.
+    for conn in close_conns:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
     _ShardWorker(shard, n_shards, ctrl, peer_conns).serve()
 
 
@@ -1090,6 +1528,24 @@ class ShardedCycleEngine:
         self._own_segs: list = []
         self._procs: list = []
         self._ctrl: list = []
+        # -- fault plane / supervision ---------------------------------- #
+        self._faults = fault_schedule()
+        recovery = _env_recovery()
+        if recovery == "auto":
+            recovery = "restore" if self._faults is not None else "off"
+        self._recovery = recovery
+        #: supervision wraps every run in checkpoint + retry machinery;
+        #: off by default so the fault-free path stays bitwise-identical
+        self._supervised = self._recovery != "off" or self._faults is not None
+        self._wire = {
+            "timeout": _EXCHANGE_TIMEOUT,
+            "retries": _EXCHANGE_RETRIES,
+            "backoff": _BACKOFF_BASE,
+        }
+        self.recovery_stats = RecoveryStats()
+        self.fault_log = FaultLog()
+        self._fired: set = set()  # fatal fault keys already executed
+        self._ckpt: dict | None = None
         try:
             self._start_workers(nodes)
         except Exception:
@@ -1098,7 +1554,8 @@ class ShardedCycleEngine:
 
     # -- worker lifecycle --------------------------------------------------- #
 
-    def _start_workers(self, nodes: list) -> None:
+    def _spawn_procs(self) -> None:
+        """Start the worker processes and wire the control/peer pipes."""
         ctx = _mp_context()
         n = self.n_shards
         if self._use_shm:
@@ -1112,56 +1569,64 @@ class ShardedCycleEngine:
                 resource_tracker.ensure_running()
             except Exception:  # pragma: no cover - tracker internals moved
                 pass
+        # create every pipe before any fork, so each worker can be handed
+        # the complete list of ends that are NOT its own and close them —
+        # a fork-started child inherits all of them otherwise, keeping a
+        # dead sibling's pipes open and masking its EOF
         pair: dict = {}
         for i in range(n):
             for j in range(i + 1, n):
                 pair[(i, j)] = ctx.Pipe()
-        child_ends = []
+        ctrls = [ctx.Pipe() for _ in range(n)]
+        fork_start = ctx.get_start_method() == "fork"
+        all_conns: list = []
+        if fork_start:
+            for conn_a, conn_b in pair.values():
+                all_conns.append(conn_a)
+                all_conns.append(conn_b)
+            for parent_conn, child_conn in ctrls:
+                all_conns.append(parent_conn)
+                all_conns.append(child_conn)
         for w in range(n):
-            parent_conn, child_conn = ctx.Pipe()
+            parent_conn, child_conn = ctrls[w]
             peers = {}
             for p in range(n):
                 if p == w:
                     continue
                 i, j = (w, p) if w < p else (p, w)
                 peers[p] = pair[(i, j)][0 if w == i else 1]
+            mine = set(id(c) for c in peers.values())
+            mine.add(id(child_conn))
+            others = [c for c in all_conns if id(c) not in mine]
             proc = ctx.Process(
                 target=_worker_main,
-                args=(w, n, child_conn, peers),
+                args=(w, n, child_conn, peers, others),
                 daemon=True,
                 name=f"repro-shard-{w}",
             )
             proc.start()
             self._procs.append(proc)
             self._ctrl.append(parent_conn)
-            child_ends.append(child_conn)
         # the parent keeps no end of the peer pipes: close its copies so a
         # dead worker surfaces as EOF instead of a silent hang
         for conn_a, conn_b in pair.values():
             conn_a.close()
             conn_b.close()
-        for conn in child_ends:
-            conn.close()
+        for _parent_conn, child_conn in ctrls:
+            child_conn.close()
 
-        from repro.core.arraystate import array_state_enabled
+    def _provision(self, cmds: list) -> None:
+        """Initialise freshly spawned workers and attach shared memory.
 
-        gates = _gate_snapshot()
-        shards = [[] for _ in range(n)]
-        for nid in self._order:
-            shards[shard_of(nid, n)].append(self._nodes[nid])
+        *cmds* is one ``("init", blob)`` or ``("restore", blob)`` command
+        per worker; both reply ``("ready", arena_need)``, after which the
+        parent creates the arena and mailbox segments (with the inline
+        fallback when the platform has no usable shared memory) and
+        completes the attach handshake.
+        """
+        n = self.n_shards
         for w in range(n):
-            blob = _dumps(
-                {
-                    "seed": self.streams.seed,
-                    "nodes": shards[w],
-                    "schedule": self.schedule,
-                    "transport": self.transport,
-                    "churn": self.churn,
-                    "gates": gates,
-                    "want_arena": self._use_shm and array_state_enabled(),
-                }
-            )
-            self._ctrl[w].send(("init", blob))
+            self._ctrl[w].send(cmds[w])
         needs = [self._expect(w, "ready")[1] for w in range(n)]
 
         arena_names: list = [None] * n
@@ -1200,19 +1665,55 @@ class ShardedCycleEngine:
         for w in range(n):
             self._expect(w, "attached")
 
+    def _start_workers(self, nodes: list) -> None:
+        self._spawn_procs()
+
+        from repro.core.arraystate import array_state_enabled
+
+        n = self.n_shards
+        gates = _gate_snapshot()
+        shards = [[] for _ in range(n)]
+        for nid in self._order:
+            shards[shard_of(nid, n)].append(self._nodes[nid])
+        want_arena = self._use_shm and array_state_enabled()
+        cmds = []
+        for w in range(n):
+            blob = _dumps(
+                {
+                    "seed": self.streams.seed,
+                    "nodes": shards[w],
+                    "schedule": self.schedule,
+                    "transport": self.transport,
+                    "churn": self.churn,
+                    "gates": gates,
+                    "want_arena": want_arena,
+                    "faults": self._faults,
+                    "suppressed": set(self._fired),
+                    "wire": self._wire,
+                }
+            )
+            cmds.append(("init", blob))
+        self._provision(cmds)
+
     def _expect(self, worker: int, op: str) -> tuple:
         conn = self._ctrl[worker]
-        if not conn.poll(_CTRL_TIMEOUT):
-            raise SimulationError(
-                f"shard worker {worker} did not answer within "
-                f"{_CTRL_TIMEOUT:.0f}s (waiting for {op!r})"
-            )
-        try:
-            msg = conn.recv()
-        except EOFError:
-            raise SimulationError(
-                f"shard worker {worker} died (waiting for {op!r})"
-            ) from None
+        deadline = time.monotonic() + _CTRL_TIMEOUT
+        while True:
+            if not conn.poll(max(0.0, deadline - time.monotonic())):
+                raise SimulationError(
+                    f"shard worker {worker} did not answer within "
+                    f"{_CTRL_TIMEOUT:.0f}s (waiting for {op!r})"
+                )
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                raise SimulationError(
+                    f"shard worker {worker} died (waiting for {op!r})"
+                ) from None
+            if msg[0] == "fired":  # out-of-band fault notification
+                self._note_fired(worker, msg[1])
+                continue
+            break
         if msg[0] == "error":
             raise SimulationError(f"shard worker {worker} failed:\n{msg[1]}")
         if msg[0] != op:
@@ -1220,6 +1721,13 @@ class ShardedCycleEngine:
                 f"shard worker {worker}: expected {op!r}, got {msg[0]!r}"
             )
         return msg
+
+    def _note_fired(self, worker: int, key) -> None:
+        """Record a fatal fault's key so a respawn cannot replay it."""
+        key = tuple(key)
+        if key not in self._fired:
+            self._fired.add(key)
+            self.fault_log.record(self.cycles_run, worker, "fault_fired", repr(key))
 
     def _broadcast(self, cmd: tuple, reply_op: str) -> list:
         """Send *cmd* to every worker; collect one reply each.
@@ -1234,9 +1742,15 @@ class ShardedCycleEngine:
         """
         if self._closed:
             raise SimulationError("engine is closed")
-        for conn in self._ctrl:
-            conn.send(cmd)
-        import time
+        for worker, conn in enumerate(self._ctrl):
+            try:
+                conn.send(cmd)
+            except (BrokenPipeError, OSError):
+                self.close()
+                raise SimulationError(
+                    f"shard worker {worker} died (control pipe broken "
+                    f"before {reply_op!r})"
+                ) from None
 
         replies: dict[int, tuple] = {}
         pending = {conn: w for w, conn in enumerate(self._ctrl)}
@@ -1252,15 +1766,19 @@ class ShardedCycleEngine:
                     f"{_CTRL_TIMEOUT:.0f}s (waiting for {reply_op!r})"
                 )
             for conn in ready:
-                worker = pending.pop(conn)
+                worker = pending[conn]
                 try:
                     msg = conn.recv()
-                except EOFError:
+                except (EOFError, OSError):
                     self.close()
                     raise SimulationError(
                         f"shard worker {worker} died "
                         f"(waiting for {reply_op!r})"
                     ) from None
+                if msg[0] == "fired":  # out-of-band fault notification
+                    self._note_fired(worker, msg[1])
+                    continue
+                del pending[conn]
                 if msg[0] == "error":
                     self.close()
                     raise SimulationError(
@@ -1336,14 +1854,307 @@ class ShardedCycleEngine:
         """
         self._observers.append(fn)
 
+    def _absorb_deltas(self, replies: list) -> None:
+        for msg in replies:
+            deltas = msg[3] if len(msg) > 3 else None
+            if deltas:
+                self.recovery_stats.chunk_retries += deltas.get("chunk_retries", 0)
+                self.recovery_stats.crc_failures += deltas.get("crc_failures", 0)
+                self.recovery_stats.dup_chunks += deltas.get("dup_chunks", 0)
+
     def _step(self, k: int) -> None:
+        if self._supervised:
+            self._step_supervised(k)
+            return
         replies = self._broadcast(("run", k), "ran")
         self.now += k
         self.cycles_run += k
         self._pending = sum(msg[2] for msg in replies)
+        self._absorb_deltas(replies)
         self._dirty = True
         self._stats = None
         self._log = None
+
+    # -- supervision (fault plane active) ------------------------------------ #
+
+    def _step_supervised(self, k: int) -> None:
+        """Advance *k* cycles under checkpoint/retry supervision.
+
+        Runs in chunks aligned to the checkpoint cadence: before each
+        chunk a synchronized full-state checkpoint is taken when due, and
+        a chunk that fails — a worker crashed, stalled past its deadline,
+        or surfaced an injected failure — triggers a global
+        rollback-replay: every worker is torn down and respawned from the
+        last checkpoint (dead shards optionally entering degraded mode),
+        the parent clock rolls back with them, and the loop re-runs the
+        lost cycles.  Fired fatal faults are suppressed on replay, so the
+        respawned population does not re-crash; every other draw replays
+        bit-for-bit.
+        """
+        target = self.cycles_run + k
+        recoveries = 0
+        while self.cycles_run < target:
+            dead = None
+            attempted = 0
+            if self._ckpt is None or (
+                self.cycles_run - self._ckpt["cycle"] >= _CKPT_EVERY
+            ):
+                ok, result = self._try_checkpoint()
+                if not ok:
+                    if self._ckpt is None:
+                        self.close()
+                        raise SimulationError(
+                            "shard worker failure before the first "
+                            f"checkpoint (shards {sorted(result)})"
+                        )
+                    dead = result  # recover below, then retry the chunk
+            if dead is None:
+                chunk = min(
+                    target - self.cycles_run,
+                    _CKPT_EVERY - (self.cycles_run - self._ckpt["cycle"]),
+                )
+                ok, result = self._try_run(chunk)
+                if ok:
+                    self.now += chunk
+                    self.cycles_run += chunk
+                    self._pending = result
+                    continue
+                dead = result
+                attempted = chunk
+            recoveries += 1
+            self.recovery_stats.worker_deaths += len(dead)
+            if self._recovery == "off" or recoveries > _MAX_RECOVERIES:
+                self.close()
+                raise SimulationError(
+                    f"shard worker failure at cycle {self.cycles_run} "
+                    f"(dead/failed shards: {sorted(dead) or 'none'}; "
+                    f"recovery={self._recovery!r}, "
+                    f"{recoveries - 1} recoveries already spent)"
+                )
+            replayed = (self.cycles_run - self._ckpt["cycle"]) + attempted
+            self.recovery_stats.recoveries += 1
+            self.recovery_stats.replayed_cycles += replayed
+            self.fault_log.record(
+                self.cycles_run,
+                -1,
+                "recovery",
+                f"rollback to cycle {self._ckpt['cycle']} "
+                f"(dead shards {sorted(dead) or '[]'})",
+            )
+            degrade = dead if self._recovery == "degraded" else frozenset()
+            self._respawn_from_checkpoint(degrade)
+        self._dirty = True
+        self._stats = None
+        self._log = None
+
+    def _try_run(self, k: int) -> tuple:
+        """One supervised run chunk.
+
+        Returns ``(True, pending_total)`` when every worker completed, or
+        ``(False, dead_shards)`` when any worker died (control-pipe EOF),
+        reported a peer/injected failure, or went silent past the
+        worker-side exchange deadline plus control slack.
+        """
+        replies: dict[int, tuple] = {}
+        dead: set[int] = set()
+        failed: set[int] = set()
+        pending: dict = {}
+        for w, conn in enumerate(self._ctrl):
+            try:
+                conn.send(("run", k))
+                pending[conn] = w
+            except (BrokenPipeError, OSError):
+                # died between runs (external SIGKILL): recover directly
+                dead.add(w)
+                self.fault_log.record(
+                    self.cycles_run, w, "worker_death", "control pipe broken"
+                )
+        # workers bound their own waits by the exchange deadline; the
+        # parent allows that plus control slack before declaring a wedge
+        deadline = time.monotonic() + self._wire["timeout"] + _CTRL_TIMEOUT
+        while pending:
+            timeout = max(0.0, deadline - time.monotonic())
+            ready = _conn_wait(list(pending), timeout)
+            if not ready:
+                for w in pending.values():
+                    dead.add(w)
+                    self.fault_log.record(
+                        self.cycles_run, w, "worker_death", "silent past deadline"
+                    )
+                break
+            for conn in ready:
+                w = pending[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    del pending[conn]
+                    dead.add(w)
+                    self.fault_log.record(
+                        self.cycles_run, w, "worker_death", "control pipe EOF"
+                    )
+                    continue
+                op = msg[0]
+                if op == "fired":
+                    self._note_fired(w, msg[1])
+                    continue
+                del pending[conn]
+                if op == "ran":
+                    replies[w] = msg
+                elif op == "ran_failed":
+                    failed.add(w)
+                    self.fault_log.record(self.cycles_run, w, "ran_failed", msg[2])
+                elif op == "error":
+                    failed.add(w)
+                    self.fault_log.record(
+                        self.cycles_run, w, "worker_error", msg[1][-2000:]
+                    )
+                else:  # pragma: no cover - protocol bug
+                    self.close()
+                    raise SimulationError(
+                        f"shard worker {w}: expected 'ran', got {op!r}"
+                    )
+        if dead or failed:
+            return (False, frozenset(dead))
+        ordered = [replies[w] for w in range(self.n_shards)]
+        self._absorb_deltas(ordered)
+        return (True, sum(msg[2] for msg in ordered))
+
+    def _try_checkpoint(self) -> tuple:
+        """Synchronized full-state checkpoint of every shard.
+
+        Returns ``(True, None)`` and installs the checkpoint only when
+        every worker produced its blob; on any worker failure the
+        previous checkpoint stays in place (never a partial one) and the
+        dead/failed shard set is returned for the recovery path.
+        """
+        replies: dict[int, tuple] = {}
+        dead: set[int] = set()
+        pending: dict = {}
+        for w, conn in enumerate(self._ctrl):
+            try:
+                conn.send(("checkpoint",))
+                pending[conn] = w
+            except (BrokenPipeError, OSError):
+                dead.add(w)
+                self.fault_log.record(
+                    self.cycles_run, w, "worker_death", "control pipe broken"
+                )
+        deadline = time.monotonic() + _CTRL_TIMEOUT
+        while pending:
+            timeout = max(0.0, deadline - time.monotonic())
+            ready = _conn_wait(list(pending), timeout)
+            if not ready:
+                dead.update(pending.values())
+                break
+            for conn in ready:
+                w = pending[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    del pending[conn]
+                    dead.add(w)
+                    self.fault_log.record(
+                        self.cycles_run, w, "worker_death", "control pipe EOF"
+                    )
+                    continue
+                if msg[0] == "fired":
+                    self._note_fired(w, msg[1])
+                    continue
+                del pending[conn]
+                if msg[0] == "ckpt":
+                    replies[w] = msg
+                else:
+                    dead.add(w)
+                    self.fault_log.record(
+                        self.cycles_run, w, "worker_error", str(msg[:2])
+                    )
+        if dead:
+            return (False, frozenset(dead))
+        blobs = [replies[w][1] for w in range(self.n_shards)]
+        self._ckpt = {
+            "cycle": self.cycles_run,
+            "now": self.now,
+            "pending": self._pending,
+            "blobs": blobs,
+        }
+        nbytes = sum(len(b) for b in blobs)
+        self.recovery_stats.checkpoints += 1
+        self.recovery_stats.checkpoint_bytes += nbytes
+        self.fault_log.record(self.cycles_run, -1, "checkpoint", f"{nbytes} bytes")
+        return (True, None)
+
+    def _teardown_workers(self) -> None:
+        """Stop (escalating to kill) every worker and release all shm."""
+        for conn in self._ctrl:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=1)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2)
+            if proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                proc.kill()
+                proc.join(timeout=5)
+        for conn in self._ctrl:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._ctrl = []
+        self._procs = []
+        self._arenas = {}
+        self._release_segs()
+
+    def _respawn_from_checkpoint(self, degrade_shards: frozenset) -> None:
+        """Global rollback: fresh workers, every shard restored.
+
+        Peers of a dead worker hold unrecoverable mid-barrier state (the
+        barrier lost in-flight chunks and the interning tables advance in
+        lock-step), so recovery replaces *all* workers — new processes,
+        new pipes, new segments — and restores each from the checkpoint.
+        Shards in *degrade_shards* come back with their population
+        churned-offline for the degraded window instead of live.
+        """
+        from repro.core.arraystate import array_state_enabled
+
+        ckpt = self._ckpt
+        self._teardown_workers()
+        self._spawn_procs()
+        gates = _gate_snapshot()
+        want_arena = self._use_shm and array_state_enabled()
+        until = ckpt["now"] + (_DEGRADED_FOR or _CKPT_EVERY)
+        cmds = []
+        for w in range(self.n_shards):
+            spec = {
+                "gates": gates,
+                "want_arena": want_arena,
+                "faults": self._faults,
+                "suppressed": set(self._fired),
+                "wire": self._wire,
+                "state": ckpt["blobs"][w],
+                "degrade": until if w in degrade_shards else None,
+            }
+            cmds.append(("restore", _dumps(spec)))
+        self._provision(cmds)
+        self.now = ckpt["now"]
+        self.cycles_run = ckpt["cycle"]
+        self._pending = ckpt["pending"]
+        if degrade_shards:
+            window = until - ckpt["now"]
+            self.recovery_stats.degraded_cycles += window * len(degrade_shards)
+            self.fault_log.record(
+                self.cycles_run,
+                -1,
+                "degraded",
+                f"shards {sorted(degrade_shards)} offline until cycle {until}",
+            )
+
+    def fault_stats(self) -> RecoveryStats:
+        """The run's fault-plane counters (all zero when unsupervised)."""
+        return self.recovery_stats
 
     def run(self, n_cycles: int) -> None:
         """Advance the simulation by *n_cycles* cycles."""
@@ -1485,38 +2296,32 @@ class ShardedCycleEngine:
     # -- teardown ------------------------------------------------------------ #
 
     def _release_segs(self) -> None:
+        # close and unlink in separate suppressions: a failed close (live
+        # buffer export, platform quirk) must never leave the segment
+        # registered — the unlink is what prevents a leak
         for seg in self._own_segs:
             try:
                 seg.close()
+            except Exception:  # pragma: no cover - live export / double close
+                pass
+            try:
                 seg.unlink()
-            except Exception:  # pragma: no cover - double close
+            except Exception:  # pragma: no cover - already unlinked
                 pass
         self._own_segs = []
 
     def close(self) -> None:
-        """Stop the workers and release shared-memory segments."""
+        """Stop the workers and release shared-memory segments.
+
+        Safe against abnormal worker exits: a worker that died mid-phase
+        (SIGKILL, crash fault) is skipped by the escalation chain and
+        every parent-owned segment is unlinked regardless — the engine
+        never leaves shared memory behind.
+        """
         if self._closed:
             return
         self._closed = True
-        for conn in self._ctrl:
-            try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5)
-            if proc.is_alive():  # pragma: no cover - wedged worker
-                proc.terminate()
-                proc.join(timeout=5)
-        for conn in self._ctrl:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
-        self._ctrl = []
-        self._procs = []
-        self._arenas = {}
-        self._release_segs()
+        self._teardown_workers()
 
     def __enter__(self) -> "ShardedCycleEngine":
         return self

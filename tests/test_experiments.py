@@ -193,6 +193,7 @@ class TestRegistry:
             "fig3-synthetic", "fig3-digg", "fig3-survey",
             "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "ablate-window", "ablate-rpsvs", "ablate-wupvs", "ablate-metric",
+            "shard-outage",
         }
         assert expected <= set(EXPERIMENTS)
 
@@ -222,6 +223,16 @@ class TestRegistry:
         rep = run_experiment("fig11", TINY, seed=2)
         assert len(rep.data["centres"]) == 10
 
+    def test_run_shard_outage_tiny(self):
+        rep = run_experiment("shard-outage", TINY, seed=2)
+        rows = rep.data["rows"]
+        assert rows[0][0] == "no outage" and rows[0][1] == 0
+        # every outage row killed a residue class and delivered no more
+        # item messages per user than the clean run
+        assert all(row[1] > 0 for row in rows[1:])
+        assert all(row[2] <= rows[0][2] for row in rows[1:])
+        assert "Recall" in rep.text
+
 
 class TestCli:
     def test_parser_requires_command(self):
@@ -243,3 +254,19 @@ class TestCli:
 
     def test_run_with_scale_flag(self, capsys):
         assert main(["run", "table2", "--scale", "paper"]) == 0
+
+    def test_faults_flag_installs_schedule(self, capsys):
+        from repro.simulation.faults import fault_schedule, set_fault_schedule
+
+        args = build_parser().parse_args(
+            ["run", "table2", "--faults", "crash@5:1:q"]
+        )
+        assert args.faults == "crash@5:1:q"
+        before = fault_schedule()
+        try:
+            assert main(["run", "table2", "--faults", "stall@2:0:r:0.01"]) == 0
+            active = fault_schedule()
+            assert active is not None
+            assert [e.kind for e in active.events] == ["stall"]
+        finally:
+            set_fault_schedule(before)
