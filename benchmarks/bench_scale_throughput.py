@@ -35,7 +35,13 @@ Each scenario runs once per pipeline tier:
   shared-memory state arenas + columnar shard-boundary mailboxes,
   ``REPRO_SHARDS``).  The report records the host core count alongside
   ``sharded_cps`` — on boxes with fewer cores than shards the workers
-  time-slice and the number measures overhead, not scale-out.
+  time-slice and the number measures overhead, not scale-out.  The
+  sharded section additionally sweeps the cross-shard mailbox encoding
+  (PR 7's ``repro.simulation.wire``: ``pickle`` / ``columns`` /
+  ``delta``), recording bytes/cycle and cps per tier plus the delta
+  wire's reduction against the committed PR 6 pickle-wire baseline —
+  byte counts are deterministic per configuration, so that acceptance
+  is host-independent.
 
 The array and native runs also report the resident footprint of the node
 state (views + profiles, bytes/node via the ``storage_nbytes()`` facade)
@@ -78,7 +84,7 @@ from repro.core.similarity import (
 )
 from repro.experiments.scale import SCALES
 from repro.simulation.delivery import delivery_batching
-from repro.simulation.sharding import sharding
+from repro.simulation.sharding import shard_wire, sharding
 
 #: benchmark seed (deterministic suite)
 BENCH_SEED = 2
@@ -166,6 +172,28 @@ SHARDED_ACCEPTANCE_TARGETS = {
     "paper-synthetic": 1.8,
 }
 
+#: the committed PR 6 ``mailbox.bytes_per_cycle`` values (the interned-
+#: pickle wire at 4 shards) — the baseline the PR 7 columnar-delta-wire
+#: acceptance ("≥4x fewer mailbox bytes/cycle at medium-synthetic")
+#: is measured against; inline so a rewritten JSON cannot move the bar
+PR6_BASELINE_MAILBOX = {
+    "small-survey": 793832.7,
+    "medium-survey": 6379859.7,
+    "medium-synthetic": 7088024.7,
+    "paper-synthetic": 32584839.9,
+}
+
+#: scenario -> target bytes/cycle reduction of the delta wire vs the
+#: committed PR 6 pickle-wire baseline (byte counts are deterministic
+#: per configuration, so this acceptance is host-independent)
+WIRE_ACCEPTANCE_TARGETS = {
+    "medium-synthetic": 4.0,
+}
+
+#: wire tiers swept in the sharded section, heaviest first (the default
+#: engine tier, ``delta``, is the main sharded run itself)
+WIRE_SWEEP_TIERS = ("pickle", "columns")
+
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_scale_throughput.json"
 
 
@@ -196,16 +224,21 @@ def memory_report(system: WhatsUpSystem) -> dict:
 
 
 def run_mode(
-    spec: dict, mode: str, seed: int = BENCH_SEED, shards: int = 1
+    spec: dict,
+    mode: str,
+    seed: int = BENCH_SEED,
+    shards: int = 1,
+    wire: str = "delta",
 ) -> dict:
     """One fresh fixed-seed run of a pipeline tier (see :data:`MODES`).
 
     The restore-guarded context managers pin the batch/native/array
     gates for the run and put the previous settings back even if it
     raises.  ``mode="sharded"`` runs the array tier under
-    ``REPRO_SHARDS=shards`` — the timed region covers the cycles only;
-    collecting worker state back into the parent happens after the clock
-    stops (it is an end-of-run cost, not a per-cycle one).
+    ``REPRO_SHARDS=shards`` with the *wire* mailbox encoding — the timed
+    region covers the cycles only; collecting worker state back into the
+    parent happens after the clock stops (it is an end-of-run cost, not
+    a per-cycle one).
     """
     batch, native, arrays = MODES["array" if mode == "sharded" else mode]
     n_shards = shards if mode == "sharded" else 1
@@ -215,6 +248,7 @@ def run_mode(
         native_kernel(native),
         array_state(arrays),
         sharding(n_shards),
+        shard_wire(wire),
     ):
         default_score_cache().clear()
         system = build_system(spec, seed)
@@ -229,6 +263,11 @@ def run_mode(
             total = sum(
                 s["shm_bytes"] + s["inline_bytes"] for s in per_shard
             )
+            wire_stats: dict = {"tier": wire}
+            for s in per_shard:
+                for key, value in s["wire"].items():
+                    if key != "tier":
+                        wire_stats[key] = wire_stats.get(key, 0) + value
             mailbox = {
                 "shm_bytes": sum(s["shm_bytes"] for s in per_shard),
                 "inline_bytes": sum(s["inline_bytes"] for s in per_shard),
@@ -236,6 +275,7 @@ def run_mode(
                 "chunk_retries": sum(s["chunk_retries"] for s in per_shard),
                 "crc_failures": sum(s["crc_failures"] for s in per_shard),
                 "dup_chunks": sum(s["dup_chunks"] for s in per_shard),
+                "wire": wire_stats,
             }
         memory = memory_report(system)
         close = getattr(system.engine, "close", None)
@@ -475,6 +515,39 @@ def main(argv: list[str] | None = None) -> int:
                 entry["speedup_sharded_vs_pr4"] = round(
                     shard["cycles_per_sec"] / pr4, 3
                 )
+            # wire sweep: the same sharded run per encoding tier, so
+            # the bytes/cycle story (and its cps cost) is tracked per
+            # tier; the default delta run above doubles as its own entry
+            sweep = {
+                "delta": {
+                    "bytes_per_cycle": shard["mailbox"]["bytes_per_cycle"],
+                    "wire_frame_bytes": shard["mailbox"]["wire"][
+                        "frame_bytes"
+                    ],
+                    "cps": shard["cycles_per_sec"],
+                }
+            }
+            for tier in WIRE_SWEEP_TIERS:
+                print(f"[{name}] sharded wire={tier} ...")
+                alt = run_mode(spec, "sharded", shards=args.shards, wire=tier)
+                print(f"[{name}]   {alt['cycles_per_sec']} cycles/sec")
+                sweep[tier] = {
+                    "bytes_per_cycle": alt["mailbox"]["bytes_per_cycle"],
+                    "wire_frame_bytes": alt["mailbox"]["wire"]["frame_bytes"],
+                    "cps": alt["cycles_per_sec"],
+                }
+            entry["wire_tiers"] = sweep
+            entry["wire_reduction_vs_pickle"] = round(
+                sweep["pickle"]["bytes_per_cycle"]
+                / sweep["delta"]["bytes_per_cycle"],
+                2,
+            )
+            pr6 = PR6_BASELINE_MAILBOX.get(name)
+            if pr6:
+                entry["pr6_baseline_mailbox_bytes_per_cycle"] = pr6
+                entry["wire_reduction_vs_pr6"] = round(
+                    pr6 / sweep["delta"]["bytes_per_cycle"], 2
+                )
         report["scenarios"][name] = entry
 
     modes_label = (
@@ -522,6 +595,16 @@ def main(argv: list[str] | None = None) -> int:
             # the ISSUE's bar presumes one core per worker; below that the
             # workers time-slice and the ratio measures overhead only
             "valid_host": cores >= entry["shards"],
+        }
+    for scenario, target in WIRE_ACCEPTANCE_TARGETS.items():
+        entry = report["scenarios"].get(scenario)
+        if entry is None or "wire_reduction_vs_pr6" not in entry:
+            continue
+        achieved = entry["wire_reduction_vs_pr6"]
+        acceptance[f"wire:{scenario}"] = {
+            "target_reduction": target,
+            "achieved_reduction": achieved,
+            "met": achieved >= target,
         }
     if acceptance:
         report["acceptance"] = acceptance

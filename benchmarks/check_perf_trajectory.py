@@ -16,9 +16,11 @@ per scenario:
   cores than shards (the workers time-slice; the number measures overhead,
   not scale-out) — on an adequately sized runner they gate like any tier;
 * shard-boundary mailbox traffic (``mailbox.bytes_per_cycle``) growing
-  beyond the threshold only **warns** — the quantity is deterministic per
-  configuration, so growth flags a heavier wire format or shipment
-  selection rather than a slow host;
+  beyond the threshold **fails** — on every scenario, including the
+  ``small-*`` ones: the quantity is deterministic per configuration
+  (hosts don't affect it), so growth means the wire format or the
+  shipment selection genuinely got heavier.  Intentional protocol
+  changes update the committed baseline in the same PR;
 * a failed equivalence flag in the fresh report always fails — a perf win
   that changes outcomes is not a win.  The sharded determinism flag
   (``sharding.sharded_runs_identical``) is part of that rule: a sharded
@@ -95,11 +97,12 @@ def compare(
                     failures.append(f"{line} - regression beyond threshold")
             else:
                 warnings.append(f"{line} - ok")
-        # mailbox traffic gate (warn-only): the shard-boundary bytes per
-        # cycle are deterministic for a given configuration, so growth
-        # means the wire format or the shipment selection got heavier —
-        # worth a look, but never a hard failure (hosts don't affect it,
-        # intentional protocol changes do, and those update the baseline)
+        # mailbox traffic gate (hard): the shard-boundary bytes per
+        # cycle are deterministic for a given configuration — hosts
+        # don't affect them, so growth beyond the threshold means the
+        # wire format or the shipment selection genuinely got heavier.
+        # That gates on every scenario, small ones included; intentional
+        # protocol changes update the committed baseline in the same PR.
         base_mail = (base.get("mailbox") or {}).get("bytes_per_cycle")
         new_mail = (entry.get("mailbox") or {}).get("bytes_per_cycle")
         if base_mail and new_mail:
@@ -109,9 +112,21 @@ def compare(
                 f"{base_mail:.0f} ({ratio:.2f}x)"
             )
             if ratio > 1.0 + threshold:
-                warnings.append(f"{line} - traffic growth (warn-only)")
+                failures.append(f"{line} - traffic growth beyond threshold")
             else:
                 warnings.append(f"{line} - ok")
+        # per-tier wire bytes (warn lines): tracked so a tier that stops
+        # earning its keep is visible in the CI log
+        base_tiers = base.get("wire_tiers") or {}
+        new_tiers = entry.get("wire_tiers") or {}
+        for tier in sorted(set(base_tiers) & set(new_tiers)):
+            b = base_tiers[tier].get("bytes_per_cycle")
+            n = new_tiers[tier].get("bytes_per_cycle")
+            if b and n:
+                warnings.append(
+                    f"{name} wire[{tier}] bytes/cycle: {n:.0f} vs "
+                    f"baseline {b:.0f} ({n / b:.2f}x)"
+                )
     return failures, warnings
 
 

@@ -9,6 +9,14 @@ Usage (installed as ``whatsup-repro``, also ``python -m repro``)::
     whatsup-repro run table3 --shards 4    # process-sharded cycle engine
     whatsup-repro run table3 --shards 4 --faults crash@5:1:q
                                            # fault-injected, self-healing run
+    whatsup-repro run table3 --shards 4 --wire-tier pickle --pin-cpus
+                                           # old wire, workers pinned
+
+Flags, env vars and programmatic use share one resolution path: the CLI
+builds a :class:`repro.api.RunConfig` from the environment
+(``RunConfig.from_env()``), overrides it with the explicit flags, and
+runs the experiments under ``config.apply()`` — exactly what a script
+passing ``run_config=`` would get.
 
 Every experiment prints the paper-shaped table/series for its id; the same
 code paths back the pytest-benchmark suite under ``benchmarks/``.
@@ -69,6 +77,20 @@ def build_parser() -> argparse.ArgumentParser:
         "'kind@cycle:shard[:phase[:param]]' (e.g. 'crash@5:1:q'); "
         "also settable via REPRO_FAULTS",
     )
+    run_p.add_argument(
+        "--wire-tier",
+        default=None,
+        choices=("pickle", "columns", "delta"),
+        help="cross-shard mailbox encoding (default delta; "
+        "also settable via REPRO_SHARD_WIRE)",
+    )
+    run_p.add_argument(
+        "--pin-cpus",
+        action="store_true",
+        default=None,
+        help="pin each shard worker to one CPU on multi-core hosts "
+        "(also settable via REPRO_SHARD_PIN_CPUS)",
+    )
     return parser
 
 
@@ -88,30 +110,38 @@ def _cmd_run(
     seed: int,
     shards: int | None = None,
     faults: str | None = None,
+    wire_tier: str | None = None,
+    pin_cpus: bool | None = None,
 ) -> int:
-    if shards is not None:
-        from repro.simulation.sharding import set_shard_count
+    from repro.api import RunConfig
 
-        set_shard_count(shards)
-    if faults is not None:
-        from repro.simulation.faults import set_fault_schedule
-
-        set_fault_schedule(faults)
+    overrides = {
+        key: value
+        for key, value in (
+            ("shards", shards),
+            ("faults", faults),
+            ("wire_tier", wire_tier),
+            ("pin_cpus", pin_cpus),
+        )
+        if value is not None
+    }
+    config = RunConfig.from_env().replace(**overrides)
     scale = get_scale(scale_name)
     if len(exp_ids) == 1 and exp_ids[0].lower() == "all":
         exp_ids = sorted(EXPERIMENTS)
     status = 0
-    for exp_id in exp_ids:
-        start = time.perf_counter()
-        try:
-            report = run_experiment(exp_id, scale, seed)
-        except ReproError as exc:
-            print(f"[{exp_id}] error: {exc}", file=sys.stderr)
-            status = 1
-            continue
-        elapsed = time.perf_counter() - start
-        print(f"\n== {report.exp_id}: {report.title} ({elapsed:.1f}s) ==")
-        print(report.text)
+    with config.apply():
+        for exp_id in exp_ids:
+            start = time.perf_counter()
+            try:
+                report = run_experiment(exp_id, scale, seed)
+            except ReproError as exc:
+                print(f"[{exp_id}] error: {exc}", file=sys.stderr)
+                status = 1
+                continue
+            elapsed = time.perf_counter() - start
+            print(f"\n== {report.exp_id}: {report.title} ({elapsed:.1f}s) ==")
+            print(report.text)
     return status
 
 
@@ -122,7 +152,13 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(
-            args.experiments, args.scale, args.seed, args.shards, args.faults
+            args.experiments,
+            args.scale,
+            args.seed,
+            args.shards,
+            args.faults,
+            args.wire_tier,
+            args.pin_cpus,
         )
     return 2  # pragma: no cover - argparse enforces the subcommands
 

@@ -800,6 +800,70 @@ class FrozenProfile:
         return f"FrozenProfile(n={len(self.scores)}, liked={len(self.liked)})"
 
 
+_MISSING = object()
+
+
+def _same_float(a: float, b: float) -> bool:
+    """Exact (bitwise-faithful) float equality: ±0.0 differ, NaN ≠ NaN."""
+    return a == b and (a != 0.0 or math.copysign(1.0, a) == math.copysign(1.0, b))
+
+
+def score_delta(
+    base: dict[int, float], new: dict[int, float]
+) -> "tuple[list[int], list[float], list[int]] | None":
+    """The op-journal-shaped diff turning *base* into *new*.
+
+    Returns ``(set_ids, set_values, removed_ids)`` — the minimal set-op
+    journal whose replay over *base* produces *new* — or ``None`` when
+    the diff is not strictly smaller than shipping the dict whole.
+    Comparison is float-exact (``-0.0`` vs ``0.0`` and NaN count as
+    changes), so the replay is bitwise-faithful.
+
+    Every profile mutation *is* a set-op (:meth:`UserProfile.set_score`
+    journals exactly these pairs), so when *base* and *new* are snapshots
+    of one profile timeline this reconstructs the ops that ran between
+    the two versions: surviving keys keep their *base* dict slots,
+    (re)rated keys re-append in op order — replay reproduces *new*'s
+    exact insertion order, not just its mapping.  The cross-shard wire
+    (:mod:`repro.simulation.wire`) relies on both properties.
+    """
+    set_ids: list[int] = []
+    set_vals: list[float] = []
+    get = base.get
+    for k, v in new.items():
+        bv = get(k, _MISSING)
+        if bv is _MISSING or not _same_float(bv, v):
+            set_ids.append(k)
+            set_vals.append(v)
+    removed = [k for k in base if k not in new]
+    # worth it only when strictly slimmer than the full (id, score) table
+    if 2 * len(set_ids) + len(removed) >= 2 * len(new):
+        return None
+    return set_ids, set_vals, removed
+
+
+def apply_score_delta(
+    base: dict[int, float],
+    set_ids,
+    set_values,
+    removed,
+) -> dict[int, float]:
+    """Replay a :func:`score_delta` journal over *base* (a new dict).
+
+    Removals first, then the set-ops in order — the order the mutations
+    originally ran, so the result's dict insertion order matches the
+    sender's.  A removal naming an absent key raises ``KeyError``: the
+    delta was made against a different base, and corrupting a profile
+    silently would be far worse.
+    """
+    scores = dict(base)
+    for k in removed:
+        del scores[k]
+    for k, v in zip(set_ids, set_values):
+        scores[k] = v
+    return scores
+
+
 class UserProfile(Profile):
     """A node's own opinion record ``P̃`` (binary scores).
 

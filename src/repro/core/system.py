@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from contextlib import nullcontext
 from typing import TYPE_CHECKING
 
 from repro.core.coldstart import bootstrap_from_contact
@@ -61,6 +62,13 @@ class WhatsUpSystem(SystemHarness):
         simulation setting).
     churn:
         Optional churn model.
+    run_config:
+        Optional :class:`repro.api.RunConfig` pinning the whole pipeline
+        gate matrix (shards, wire tier, kernels, faults, …) for this
+        system.  Construction and every :meth:`run` execute under
+        ``run_config.apply()``, so the configuration holds without
+        touching env vars or module gates — the programmatic replacement
+        for the ``REPRO_*`` environment soup.
 
     Examples
     --------
@@ -81,6 +89,36 @@ class WhatsUpSystem(SystemHarness):
         churn: object | None = None,
         node_cls: type[WhatsUpNode] = WhatsUpNode,
         node_kwargs: dict | None = None,
+        run_config: object | None = None,
+    ) -> None:
+        self._run_config = run_config
+        with self._configured():
+            self._build(
+                dataset,
+                config,
+                seed=seed,
+                transport=transport,
+                churn=churn,
+                node_cls=node_cls,
+                node_kwargs=node_kwargs,
+            )
+
+    def _configured(self):
+        """``run_config.apply()``, or a no-op guard when none was given."""
+        if self._run_config is None:
+            return nullcontext()
+        return self._run_config.apply()
+
+    def _build(
+        self,
+        dataset: "Dataset",
+        config: WhatsUpConfig | None,
+        *,
+        seed: int,
+        transport: Transport | None,
+        churn: object | None,
+        node_cls: type[WhatsUpNode],
+        node_kwargs: dict | None,
     ) -> None:
         from repro.datasets.base import OpinionOracle
 
@@ -121,9 +159,12 @@ class WhatsUpSystem(SystemHarness):
         Under a sharded engine (``REPRO_SHARDS>1``) the worker state is
         adopted back into the parent afterwards, and ``self.nodes`` is
         re-pointed at the collected node objects so post-run analyses
-        (profiles, views, seen sets) read the real final state.
+        (profiles, views, seen sets) read the real final state.  With a
+        ``run_config``, the cycles execute under it (the per-cycle gates
+        — batch scoring, delivery batching — are read at cycle time).
         """
-        super().run(cycles, drain=drain)
+        with self._configured():
+            super().run(cycles, drain=drain)
         engine = self.engine
         if hasattr(engine, "collect"):
             engine.collect()

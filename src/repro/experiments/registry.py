@@ -570,7 +570,19 @@ def get_experiment(exp_id: str) -> ExperimentFn:
 
 
 def run_experiment(
-    exp_id: str, scale: ScaleProfile, seed: int = 1
+    exp_id: str,
+    scale: ScaleProfile,
+    seed: int = 1,
+    run_config=None,
 ) -> ExperimentReport:
-    """Run one registered experiment."""
-    return get_experiment(exp_id)(scale, seed)
+    """Run one registered experiment.
+
+    *run_config* (a :class:`repro.api.RunConfig`) pins the pipeline gate
+    matrix for the whole run — the experiment body builds and runs its
+    systems under ``run_config.apply()``.
+    """
+    fn = get_experiment(exp_id)
+    if run_config is None:
+        return fn(scale, seed)
+    with run_config.apply():
+        return fn(scale, seed)

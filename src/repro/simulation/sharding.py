@@ -115,6 +115,13 @@ from repro.simulation.events import DisseminationLog, FaultLog
 from repro.simulation.faults import FaultInjector, InjectedFailure, fault_schedule
 from repro.simulation.node import BaseNode
 from repro.simulation.schedule import PublicationSchedule
+from repro.simulation.wire import (
+    LinkDecoder,
+    LinkEncoder,
+    set_wire_tier,
+    shard_wire,
+    wire_tier,
+)
 from repro.utils.exceptions import SimulationError
 from repro.utils.rng import RngStreams, spawn_generator
 
@@ -125,6 +132,11 @@ __all__ = [
     "shard_shm_enabled",
     "set_shard_shm",
     "shard_shm",
+    "wire_tier",
+    "set_wire_tier",
+    "shard_wire",
+    "shard_knobs",
+    "set_shard_knobs",
     "shard_of",
     "ShardRngStreams",
     "ShardedCycleEngine",
@@ -185,10 +197,20 @@ _MAX_RECOVERIES = max(1, int(os.environ.get("REPRO_SHARD_MAX_RECOVERIES", "8")))
 
 _ARENA_ALIGN = 64
 
+_RECOVERY_MODES = ("off", "restore", "degraded", "auto")
+
 
 def _env_recovery() -> str:
     raw = os.environ.get("REPRO_SHARD_RECOVERY", "auto").strip().lower()
-    return raw if raw in ("off", "restore", "degraded", "auto") else "auto"
+    return raw if raw in _RECOVERY_MODES else "auto"
+
+
+#: supervision/recovery policy override; ``None`` defers to the
+#: ``REPRO_SHARD_RECOVERY`` env var, re-read at engine construction
+_RECOVERY_MODE: str | None = None
+
+#: pin each worker to one CPU on multi-core hosts (sharded engines only)
+_PIN_CPUS = os.environ.get("REPRO_SHARD_PIN_CPUS", "0").lower() not in _DISABLED
 
 
 class _PeerFailure(Exception):
@@ -332,81 +354,72 @@ def _loads(blob: bytes) -> object:
 _INTERN_CAP = max(256, int(os.environ.get("REPRO_SHARD_INTERN_CAP", "20000")))
 
 
-def _dumps_interned(obj: object, sent: set) -> bytes:
-    """Pickle *obj* with per-link profile interning (sender side).
+# --------------------------------------------------------------------------- #
+# runtime knobs                                                               #
+# --------------------------------------------------------------------------- #
 
-    Profile snapshots are the bulk of every gossip blob, and most of them
-    are re-shipped unchanged cycle after cycle (a profile only changes
-    when its user rates an item).  Snapshots are immutable and carry a
-    process-unique ``uid``, so a link only ever needs to move each
-    snapshot's bytes **once**: the first crossing embeds the full
-    canonical state, every later crossing is a uid reference resolved
-    from the receiver's link registry (:func:`_loads_interned`).
-    """
-    import io
+#: knob name -> (module global, env-parity normalizer).  One table so the
+#: programmatic path (``RunConfig.apply()``) and the env layer agree on
+#: names, floors, and rounding; the setters rebind the module globals the
+#: engine and tests read (monkeypatching ``_MAILBOX_BYTES`` etc. directly
+#: keeps working).
+_KNOB_GLOBALS = {
+    "mailbox_bytes": ("_MAILBOX_BYTES", lambda v: max(64 * 1024, int(v))),
+    "ctrl_timeout": ("_CTRL_TIMEOUT", float),
+    "exchange_timeout": ("_EXCHANGE_TIMEOUT", float),
+    "retries": ("_EXCHANGE_RETRIES", lambda v: max(1, int(v))),
+    "backoff": ("_BACKOFF_BASE", lambda v: max(0.005, float(v))),
+    "checkpoint_every": ("_CKPT_EVERY", lambda v: max(1, int(v))),
+    "degraded_window": ("_DEGRADED_FOR", lambda v: max(0, int(v))),
+    "max_recoveries": ("_MAX_RECOVERIES", lambda v: max(1, int(v))),
+    "intern_cap": ("_INTERN_CAP", lambda v: max(256, int(v))),
+    "recovery": ("_RECOVERY_MODE", None),
+    "pin_cpus": ("_PIN_CPUS", bool),
+}
 
-    from repro.core.profiles import FrozenProfile
-    from repro.gossip.views import ViewEntry
 
-    buf = io.BytesIO()
-    pickler = pickle.Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL)
-
-    def persistent_id(o):
-        klass = type(o)
-        if klass is FrozenProfile:
-            uid = o.uid
-            if uid in sent:
-                return (1, uid)
-            sent.add(uid)
-            return (0, uid, o.__getstate__())
-        if klass is ViewEntry and type(o[2]) is FrozenProfile:
-            # a descriptor is fully determined by (node id, timestamp,
-            # profile snapshot): the address is a pure function of the
-            # node id, so the triple is a sound identity for re-shipped
-            # descriptors (the ints/uid make the key hashable and small)
-            key = (o[0], o[3], o[2].uid)
-            if key in sent:
-                return (3, key)
-            sent.add(key)
-            return (2, key, tuple(o))
+def _norm_recovery(value) -> str | None:
+    if value is None:  # defer to the env var again
         return None
+    raw = str(value).strip().lower()
+    if raw not in _RECOVERY_MODES:
+        raise ValueError(
+            f"unknown recovery mode {value!r} (expected one of {_RECOVERY_MODES})"
+        )
+    return raw
 
-    pickler.persistent_id = persistent_id
-    pickler.dump(obj)
-    return buf.getvalue()
+
+_KNOB_GLOBALS["recovery"] = ("_RECOVERY_MODE", _norm_recovery)
 
 
-def _loads_interned(blob: bytes, registry: dict) -> object:
-    """Unpickle a blob produced by :func:`_dumps_interned` (receiver side).
+def shard_knobs() -> dict:
+    """The current sharding runtime knobs, by their programmatic names."""
+    g = globals()
+    return {name: g[attr] for name, (attr, _) in _KNOB_GLOBALS.items()}
 
-    First-crossing snapshots are constructed from their embedded state
-    and registered under their uid; reference crossings resolve from the
-    registry.  A missing uid is a protocol error (the link tables fell
-    out of lock-step) and raises ``KeyError`` — corrupting a merge
-    silently would be far worse.
+
+def set_shard_knobs(**knobs) -> dict:
+    """Set sharding runtime knobs; returns the previous values of those set.
+
+    Accepts any subset of :func:`shard_knobs` keys.  Values go through the
+    same floors the env parsing applies (a mailbox below 64 KiB or an
+    intern cap below 256 is clamped, not rejected).  Consulted at engine
+    construction and, for supervision knobs, per supervised step — like
+    the gate setters, running workers are unaffected until respawned.
     """
-    import io
-
-    from repro.core.profiles import FrozenProfile
-    from repro.gossip.views import ViewEntry
-
-    unpickler = pickle.Unpickler(io.BytesIO(blob))
-
-    def persistent_load(pid):
-        tag = pid[0]
-        if tag == 1 or tag == 3:
-            return registry[pid[1]]
-        if tag == 0:
-            profile = FrozenProfile.__new__(FrozenProfile)
-            profile.__setstate__(pid[2])
-            registry[pid[1]] = profile
-            return profile
-        entry = ViewEntry._make(pid[2])
-        registry[pid[1]] = entry
-        return entry
-
-    unpickler.persistent_load = persistent_load
-    return unpickler.load()
+    g = globals()
+    previous = {}
+    for name, value in knobs.items():
+        try:
+            attr, norm = _KNOB_GLOBALS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown sharding knob {name!r} "
+                f"(expected one of {sorted(_KNOB_GLOBALS)})"
+            ) from None
+        previous[name] = g[attr]
+        g[attr] = norm(value) if norm is not None else value
+    return previous
 
 
 def _stats_parts(stats: TrafficStats) -> dict:
@@ -804,11 +817,16 @@ class _ShardEngine(CycleEngine):
         self._req_out: dict[int, list] = {d: [] for d in peers}
         self._rep_out: dict[int, list] = {d: [] for d in peers}
         self._item_out: dict[int, list] = {d: [] for d in peers}
-        #: per-link profile-interning tables: uids already shipped to a
-        #: peer (sender side) / snapshots received from one (receiver
-        #: side) — see _dumps_interned/_loads_interned
-        self._intern_out: dict[int, set] = {d: set() for d in peers}
-        self._intern_in: dict[int, dict] = {d: {} for d in peers}
+        #: per-link wire codecs: the sender half holds the shipped-uid /
+        #: delta-base tables for each peer, the receiver half the
+        #: mirrored registries — see repro.simulation.wire
+        tier = wire_tier()
+        self._codec_out: dict[int, LinkEncoder] = {
+            d: LinkEncoder(tier) for d in peers
+        }
+        self._codec_in: dict[int, LinkDecoder] = {
+            d: LinkDecoder(tier) for d in peers
+        }
         self._cycle_inbox: dict = {}
         self._cycle_batching = False
         #: degraded-mode window: population offline until this cycle
@@ -856,13 +874,13 @@ class _ShardEngine(CycleEngine):
 
     # -- mailbox plumbing -------------------------------------------------- #
 
-    def take_mailbox(self, box: dict) -> dict:
-        """Drain a mailbox into per-destination pickled blobs."""
+    def take_mailbox(self, box: dict, phase: str = "gossip") -> dict:
+        """Drain a mailbox into per-destination wire frames."""
         out = {}
-        intern = self._intern_out
+        codecs = self._codec_out
         for dst, rows in box.items():
             if rows:
-                out[dst] = _dumps_interned(rows, intern[dst])
+                out[dst] = codecs[dst].encode(rows, phase)
                 box[dst] = []
         return out
 
@@ -909,16 +927,14 @@ class _ShardEngine(CycleEngine):
         """Sub-cycle A: churn, inbox hand-over, publications, local gossip."""
         now = self.now
         self._degraded_tick(now)
-        # bound the interning tables: both ends of a link grow them in
+        # bound the link tables: both ends of a link grow them in
         # lock-step (one entry per first-crossing uid, all of a cycle's
         # blobs consumed within the cycle), so this size rule fires at
         # the same cycle top on the sender and the receiver
-        for sent in self._intern_out.values():
-            if len(sent) > _INTERN_CAP:
-                sent.clear()
-        for registry in self._intern_in.values():
-            if len(registry) > _INTERN_CAP:
-                registry.clear()
+        for enc in self._codec_out.values():
+            enc.cap_reset(_INTERN_CAP)
+        for dec in self._codec_in.values():
+            dec.cap_reset(_INTERN_CAP)
         self.transport.begin_cycle()
         if self.churn is not None:
             self.churn.apply(self, now)
@@ -950,13 +966,11 @@ class _ShardEngine(CycleEngine):
         nodes_get = self.nodes.get
         stats = self.stats
         rep_out = self._rep_out
-        intern = self._intern_in
+        codecs = self._codec_in
         for src, blob in incoming:
             if not blob:
                 continue
-            for sender_id, target_id, kind, payload in _loads_interned(
-                blob, intern[src]
-            ):
+            for sender_id, target_id, kind, payload in codecs[src].decode(blob):
                 target = nodes_get(target_id)
                 ok = target is not None and target._alive
                 stats.record_parts(kind, payload_wire_size(payload), ok)
@@ -971,13 +985,11 @@ class _ShardEngine(CycleEngine):
         now = self.now
         nodes_get = self.nodes.get
         stats = self.stats
-        intern = self._intern_in
+        codecs = self._codec_in
         for src, blob in incoming:
             if not blob:
                 continue
-            for sender_id, _target_id, kind, reply in _loads_interned(
-                blob, intern[src]
-            ):
+            for sender_id, _target_id, kind, reply in codecs[src].decode(blob):
                 sender = nodes_get(sender_id)
                 ok = sender is not None and sender._alive
                 stats.record_parts(kind, payload_wire_size(reply), ok)
@@ -1013,15 +1025,13 @@ class _ShardEngine(CycleEngine):
         nodes_get = self.nodes.get
         delivered = dropped = nbytes = 0
         inboxes = None
-        intern = self._intern_in
+        codecs = self._codec_in
         for src, blob in incoming:
             if not blob:
                 continue
             if inboxes is None:
                 inboxes = self._future_inboxes[now + 1]
-            for target_id, sender_id, copy, via_like in _loads_interned(
-                blob, intern[src]
-            ):
+            for target_id, sender_id, copy, via_like in codecs[src].decode(blob):
                 target = nodes_get(target_id)
                 if target is not None and target._alive:
                     inboxes[target_id].append((sender_id, copy, via_like))
@@ -1055,10 +1065,35 @@ def _apply_gates(gates: dict) -> None:
     set_delivery_batching(gates["delivery"])
     set_native_kernel(gates["native"])
     set_array_state(gates["array"])
+    set_wire_tier(gates["wire_tier"])
+    global _INTERN_CAP, _PIN_CPUS
+    _INTERN_CAP = gates["intern_cap"]
+    _PIN_CPUS = gates["pin"]
     # start from an empty score cache: fork inherits the parent's, spawn
     # starts fresh — clearing makes both starts identical (the cache only
     # avoids recomputation; every score is bit-identical either way)
     default_score_cache().clear()
+
+
+def _pin_to_cpu(shard: int) -> int | None:
+    """Pin this worker to one CPU of the allowed set; returns it, or None.
+
+    Round-robin over the process's allowed CPUs (respects an outer
+    cpuset/taskset restriction).  A worker that migrates between cores
+    pays cache-refill and NUMA tax every barrier; pinning is a pure
+    affinity hint — scheduling, and therefore simulation output, is
+    unchanged.  No-op on single-CPU hosts and platforms without
+    ``sched_setaffinity``.
+    """
+    try:
+        cpus = sorted(os.sched_getaffinity(0))
+        if len(cpus) < 2:
+            return None
+        cpu = cpus[shard % len(cpus)]
+        os.sched_setaffinity(0, {cpu})
+        return cpu
+    except (AttributeError, OSError):  # pragma: no cover - platform-dependent
+        return None
 
 
 class _ShardWorker:
@@ -1124,6 +1159,8 @@ class _ShardWorker:
     def _init(self, blob: bytes) -> tuple:
         spec = _loads(blob)
         _apply_gates(spec["gates"])
+        if _PIN_CPUS:
+            _pin_to_cpu(self.shard)
         self._setup_faults(spec)
 
         # disjoint snapshot-uid ranges per process: parent uids stay tiny,
@@ -1162,8 +1199,10 @@ class _ShardWorker:
         Everything :meth:`_restore` needs to resume bit-for-bit: nodes
         (views pickle their columns even while arena-resident), RNG
         streams mid-sequence, traffic/log/churn state, the engine clock
-        and pending counters, future item inboxes, the per-link interning
-        tables, and the next snapshot uid.  One uid is burnt per
+        and pending counters, future item inboxes, the per-link wire
+        codecs (their intern/base tables — so replayed cycles re-emit
+        reference and delta frames byte-identically), and the next
+        snapshot uid.  One uid is burnt per
         checkpoint — at a fixed, supervised-only cadence — so a restored
         worker allocates exactly the uids the original would have.
         """
@@ -1192,8 +1231,8 @@ class _ShardWorker:
                 "cycles": eng.cycles_run,
                 "pending": eng._pending_items,
                 "future": future,
-                "intern_out": eng._intern_out,
-                "intern_in": eng._intern_in,
+                "codec_out": eng._codec_out,
+                "codec_in": eng._codec_in,
                 "uid_next": uid_next,
                 "degraded_until": eng._degraded_until,
                 "degraded_ids": getattr(eng, "_degraded_ids", []),
@@ -1204,6 +1243,8 @@ class _ShardWorker:
         """Rebuild the shard engine from a checkpoint (respawn path)."""
         spec = _loads(blob)
         _apply_gates(spec["gates"])
+        if _PIN_CPUS:
+            _pin_to_cpu(self.shard)
         self._setup_faults(spec)
 
         from repro.core.profiles import FrozenProfile
@@ -1229,8 +1270,8 @@ class _ShardWorker:
             inboxes = eng._future_inboxes[cycle]
             for nid, rows in box.items():
                 inboxes[nid].extend(rows)
-        eng._intern_out = state["intern_out"]
-        eng._intern_in = state["intern_in"]
+        eng._codec_out = state["codec_out"]
+        eng._codec_in = state["codec_in"]
         eng._degraded_until = state["degraded_until"]
         eng._degraded_ids = state["degraded_ids"]
         degrade = spec.get("degrade")
@@ -1288,7 +1329,9 @@ class _ShardWorker:
         eng.shard_phase_replies(rep_in)
         eng.shard_phase_deliver()
         self._inject(tag, "i")
-        item_in = links.exchange((tag, "i"), eng.take_mailbox(eng._item_out))
+        item_in = links.exchange(
+            (tag, "i"), eng.take_mailbox(eng._item_out, "items")
+        )
         eng.shard_ingest_items(item_in)
         eng.shard_phase_close()
 
@@ -1402,6 +1445,11 @@ class _ShardWorker:
                     ctrl.send(("state_map", self._state_map()))
                 elif op == "link_stats":
                     links = self.links
+                    from repro.network.stats import WireStats
+
+                    wire = WireStats()
+                    for enc in self.engine._codec_out.values():
+                        wire.merge(enc.stats)
                     ctrl.send(
                         (
                             "link_stats",
@@ -1411,6 +1459,10 @@ class _ShardWorker:
                                 "chunk_retries": links.chunk_retries,
                                 "crc_failures": links.crc_failures,
                                 "dup_chunks": links.dup_chunks,
+                                "wire": {
+                                    "tier": wire_tier(),
+                                    **wire.as_dict(),
+                                },
                             },
                         )
                     )
@@ -1465,6 +1517,9 @@ def _gate_snapshot() -> dict:
         "delivery": delivery_batching_enabled(),
         "native": native_kernel_enabled(),
         "array": array_state_enabled(),
+        "wire_tier": wire_tier(),
+        "intern_cap": _INTERN_CAP,
+        "pin": _PIN_CPUS,
     }
 
 
@@ -1530,7 +1585,7 @@ class ShardedCycleEngine:
         self._ctrl: list = []
         # -- fault plane / supervision ---------------------------------- #
         self._faults = fault_schedule()
-        recovery = _env_recovery()
+        recovery = _RECOVERY_MODE if _RECOVERY_MODE is not None else _env_recovery()
         if recovery == "auto":
             recovery = "restore" if self._faults is not None else "off"
         self._recovery = recovery
@@ -2253,7 +2308,11 @@ class ShardedCycleEngine:
 
         Sender-side counts since start-up, in shard order — the
         measurement hook behind the mailbox-overhead numbers in
-        ``PERFORMANCE.md``.
+        ``PERFORMANCE.md``.  Each dict carries the chunk-transport
+        counters plus a ``"wire"`` sub-dict: the active tier and the
+        merged :class:`~repro.network.stats.WireStats` of the shard's
+        outgoing link codecs (frame bytes per encoding tier, profile
+        crossings by representation).
         """
         return [
             msg[1] for msg in self._broadcast(("link_stats",), "link_stats")
@@ -2349,6 +2408,7 @@ def make_engine(
     transport: Transport | None = None,
     streams: RngStreams | None = None,
     churn: object | None = None,
+    run_config=None,
 ) -> "CycleEngine | ShardedCycleEngine":
     """Construct the engine the current ``REPRO_SHARDS`` setting asks for.
 
@@ -2360,7 +2420,17 @@ def make_engine(
     does not: lossy/latency transports (per-message RNG draws have no
     deterministic cross-process order) or populations too small to give
     every shard at least two nodes.
+
+    *run_config* (a :class:`repro.api.RunConfig`, duck-typed on
+    ``apply()``) pins the whole gate matrix for the construction — the
+    workers snapshot the gates at spawn, so the engine keeps the config's
+    behaviour after the context exits.
     """
+    if run_config is not None:
+        with run_config.apply():
+            return make_engine(
+                nodes, schedule, transport=transport, streams=streams, churn=churn
+            )
     n = shard_count()
     nodes = list(nodes)
     if n <= 1:

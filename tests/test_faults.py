@@ -341,3 +341,38 @@ def test_sigkill_without_recovery_fails_fast_and_leaks_nothing(dataset):
             system.run(cycles=10, drain=False)
         system.close()  # idempotent after the error path closed already
     assert _shm_entries() - before == set()
+
+
+def test_runconfig_programmatic_fault_path(dataset, fault_free_state):
+    """``RunConfig(faults=..., recovery=...)`` ≙ the env/context gates.
+
+    The typed API drives the whole fault pipeline — schedule install,
+    recovery policy, checkpoint cadence, retransmission knobs — and the
+    recovered run still lands on the fault-free state, with nothing
+    leaked after construction.
+    """
+    from repro.api import RunConfig
+    from repro.simulation.faults import fault_schedule
+
+    cfg = RunConfig(
+        shards=4,
+        faults="crash@5:1:q",
+        recovery="restore",
+        checkpoint_every=4,
+        backoff=0.05,
+        exchange_timeout=60.0,
+    )
+    system = WhatsUpSystem(
+        dataset, WhatsUpConfig(f_like=6), seed=SEED, run_config=cfg
+    )
+    try:
+        assert fault_schedule() is None  # scoped to construction
+        system.run(cycles=CYCLES, drain=False)
+        stats = system.fault_stats()
+        state = system_state(system)
+    finally:
+        system.close()
+    assert state == fault_free_state
+    assert stats["worker_deaths"] == 1
+    assert stats["recoveries"] == 1
+    assert stats["checkpoints"] > 0

@@ -490,3 +490,51 @@ def test_no_stray_warnings_from_sharded_teardown(dataset):
     with _warnings.catch_warnings():
         _warnings.simplefilter("error")
         run_sharded(dataset, 2, cycles=4)
+
+
+# --------------------------------------------------------------------------- #
+# programmatic configuration (repro.api.RunConfig)                            #
+# --------------------------------------------------------------------------- #
+
+
+def test_runconfig_programmatic_path_bitwise(dataset, shard2_state):
+    """``run_config=RunConfig(shards=2)`` ≙ the ``sharding(2)`` context.
+
+    The typed API and the env/context gates are the same resolution
+    path: a programmatic sharded run reproduces the gated run bit for
+    bit, and nothing leaks once the system is built.
+    """
+    from repro.api import RunConfig
+
+    before = sharding_mod.shard_count()
+    system = WhatsUpSystem(
+        dataset,
+        WhatsUpConfig(f_like=6),
+        seed=SEED,
+        run_config=RunConfig(shards=2),
+    )
+    try:
+        assert sharding_mod.shard_count() == before  # scoped to construction
+        system.run(cycles=CYCLES, drain=False)
+        state = system_state(system)
+    finally:
+        system.close()
+    assert state == shard2_state
+
+
+def test_runconfig_wire_tier_sweep_bitwise(dataset, shard2_state):
+    """Every wire tier selected through RunConfig matches the default."""
+    from repro.api import RunConfig
+
+    for tier in ("pickle", "columns"):
+        system = WhatsUpSystem(
+            dataset,
+            WhatsUpConfig(f_like=6),
+            seed=SEED,
+            run_config=RunConfig(shards=2, wire_tier=tier),
+        )
+        try:
+            system.run(cycles=CYCLES, drain=False)
+            assert system_state(system) == shard2_state, tier
+        finally:
+            system.close()
