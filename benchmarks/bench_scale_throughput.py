@@ -326,11 +326,12 @@ def check_equivalence(spec: dict, seed: int = BENCH_SEED) -> dict:
     array plane falls back to its pure-Python column paths, which must
     still be bitwise-identical to every other tier.
     """
-    modes = (
-        ["scalar", "batch"]
-        + (["native"] if native_available() else [])
-        + ["array"]
-    )
+    modes = [
+        "scalar",
+        "batch",
+        *(["native"] if native_available() else []),
+        "array",
+    ]
     states = {}
     for mode in modes:
         batch, native, arrays = MODES[mode]

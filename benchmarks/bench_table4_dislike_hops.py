@@ -22,7 +22,7 @@ def test_table4_dislike_distribution(benchmark, scale):
     assert sum(dist.values()) == pytest.approx(1.0, abs=0.01)
     # decreasing mass over counter values
     values = [dist[k] for k in sorted(dist)]
-    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:], strict=False))
     # the dislike path contributes a real share of useful deliveries
     via_dislike = 1.0 - dist[0]
     assert via_dislike > 0.10

@@ -64,9 +64,12 @@ def check_links(doc: Path) -> list[str]:
         if not dest.exists():
             problems.append(f"{doc.name}: broken link -> {target}")
             continue
-        if anchor and dest.suffix == ".md":
-            if github_slug(anchor) not in heading_slugs(dest):
-                problems.append(
+        if (
+            anchor
+            and dest.suffix == ".md"
+            and github_slug(anchor) not in heading_slugs(dest)
+        ):
+            problems.append(
                     f"{doc.name}: dead anchor -> {target} "
                     f"(no such heading in {dest.name})"
                 )

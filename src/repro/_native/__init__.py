@@ -75,10 +75,11 @@ shards; no kernel ever blocks while holding it.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 
 import numpy as np
+
+from repro.core.gates import env_flag
 
 __all__ = [
     "NativeKernel",
@@ -394,12 +395,7 @@ def native_available() -> bool:
 #: the user-facing gate: ``REPRO_NATIVE=0`` disables the native tier even
 #: when the extension is built; the tier is also auto-disabled (regardless
 #: of this flag) whenever the extension is absent
-_native_enabled = os.environ.get("REPRO_NATIVE", "1").lower() not in (
-    "0",
-    "false",
-    "no",
-    "off",
-)
+_native_enabled = env_flag("REPRO_NATIVE")
 
 
 def native_kernel_enabled() -> bool:

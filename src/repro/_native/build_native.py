@@ -66,6 +66,8 @@ from pathlib import Path
 
 import cffi
 
+from repro.core.gates import env_flag
+
 #: C declarations shared with the Python side.
 CDEF = """
 int64_t whatsup_score_profiles(uintptr_t owner_obj, uintptr_t profiles_list,
@@ -732,12 +734,32 @@ int64_t whatsup_state_ship(uintptr_t cols_addr, int64_t stride,
 }
 """
 
+# REPRO_NATIVE_SANITIZE=1 rebuilds the extension under ASan/UBSan for the
+# CI sanitizer leg (and local triage): -fno-sanitize-recover turns every
+# report into a hard abort, -O1/-g keep the stack traces honest.  The
+# sanitized object is a debugging artifact — the perf flags stay -O2 on
+# the normal path.
+_sanitize_enabled = env_flag("REPRO_NATIVE_SANITIZE", default=False)
+if _sanitize_enabled:
+    _compile_args = [
+        "-O1",
+        "-g",
+        "-fno-omit-frame-pointer",
+        "-fsanitize=address,undefined",
+        "-fno-sanitize-recover=all",
+    ]
+    _link_args = ["-fsanitize=address,undefined"]
+else:
+    _compile_args = ["-O2"]
+    _link_args = []
+
 ffibuilder = cffi.FFI()
 ffibuilder.cdef(CDEF)
 ffibuilder.set_source(
     "repro._native._kernels",
     C_SOURCE,
-    extra_compile_args=["-O2"],
+    extra_compile_args=_compile_args,
+    extra_link_args=_link_args,
     # the kernels use fast CPython internals (PyList_GET_ITEM & co.), so
     # the stable-ABI subset is off the table; the extension is rebuilt
     # per interpreter anyway.  _CFFI_NO_LIMITED_API stops the generated

@@ -35,29 +35,11 @@ import dataclasses
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Any, Iterator, Mapping
+
+from repro.core.gates import env_choice, env_flag, env_float, env_int, env_raw
 
 __all__ = ["RunConfig"]
-
-_DISABLED = ("0", "false", "no", "off")
-
-
-def _env_flag(environ, name: str, default: str = "1") -> bool:
-    return environ.get(name, default).lower() not in _DISABLED
-
-
-def _env_int(environ, name: str, default: int, floor: int) -> int:
-    try:
-        return max(floor, int(environ.get(name, default)))
-    except ValueError:
-        return default
-
-
-def _env_float(environ, name: str, default: float, floor: float | None = None) -> float:
-    try:
-        value = float(environ.get(name, default))
-    except ValueError:
-        return default
-    return value if floor is None else max(floor, value)
 
 
 @dataclass(frozen=True)
@@ -145,50 +127,50 @@ class RunConfig:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def from_env(cls, environ=None) -> "RunConfig":
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "RunConfig":
         """The configuration the env vars currently select.
 
         Parses each variable with the exact rules its owning module
-        applies at import (same flag spellings, same numeric floors,
-        same invalid-value fallbacks), so activating the result changes
-        nothing: ``with RunConfig.from_env().apply(): ...`` behaves
-        identically to the bare environment.
+        applies at import — the shared :mod:`repro.core.gates` helpers
+        (same flag spellings, same numeric floors, same invalid-value
+        fallbacks) — so activating the result changes nothing: ``with
+        RunConfig.from_env().apply(): ...`` behaves identically to the
+        bare environment.
         """
         env = os.environ if environ is None else environ
-        try:
-            shards = max(1, int(env.get("REPRO_SHARDS", "1")))
-        except ValueError:
-            shards = 1
-        wire = env.get("REPRO_SHARD_WIRE", "delta").strip().lower()
-        recovery = env.get("REPRO_SHARD_RECOVERY", "auto").strip().lower()
         return cls(
-            batch_sim=_env_flag(env, "REPRO_BATCH_SIM"),
-            batch_delivery=_env_flag(env, "REPRO_BATCH_DELIVERY"),
-            native=_env_flag(env, "REPRO_NATIVE"),
-            array_state=_env_flag(env, "REPRO_ARRAY_STATE"),
-            shards=shards,
-            shard_shm=_env_flag(env, "REPRO_SHARD_SHM"),
-            wire_tier=wire if wire in ("pickle", "columns", "delta") else "delta",
-            pin_cpus=_env_flag(env, "REPRO_SHARD_PIN_CPUS", default="0"),
-            mailbox_bytes=_env_int(
-                env, "REPRO_SHARD_MAILBOX_BYTES", 1 << 20, 64 * 1024
+            batch_sim=env_flag("REPRO_BATCH_SIM", env=env),
+            batch_delivery=env_flag("REPRO_BATCH_DELIVERY", env=env),
+            native=env_flag("REPRO_NATIVE", env=env),
+            array_state=env_flag("REPRO_ARRAY_STATE", env=env),
+            shards=env_int("REPRO_SHARDS", 1, floor=1, env=env),
+            shard_shm=env_flag("REPRO_SHARD_SHM", env=env),
+            wire_tier=env_choice(
+                "REPRO_SHARD_WIRE", "delta", ("pickle", "columns", "delta"), env=env
             ),
-            intern_cap=_env_int(env, "REPRO_SHARD_INTERN_CAP", 20000, 256),
-            faults=env.get("REPRO_FAULTS", "").strip() or None,
-            recovery=(
-                recovery
-                if recovery in ("off", "restore", "degraded", "auto")
-                else "auto"
+            pin_cpus=env_flag("REPRO_SHARD_PIN_CPUS", default=False, env=env),
+            mailbox_bytes=env_int(
+                "REPRO_SHARD_MAILBOX_BYTES", 1 << 20, floor=64 * 1024, env=env
             ),
-            checkpoint_every=_env_int(env, "REPRO_SHARD_CHECKPOINT", 8, 1),
-            degraded_window=_env_int(env, "REPRO_SHARD_DEGRADED", 0, 0),
-            max_recoveries=_env_int(env, "REPRO_SHARD_MAX_RECOVERIES", 8, 1),
-            ctrl_timeout=_env_float(env, "REPRO_SHARD_TIMEOUT", 600.0),
-            exchange_timeout=_env_float(
-                env, "REPRO_SHARD_EXCHANGE_TIMEOUT", 600.0
+            intern_cap=env_int("REPRO_SHARD_INTERN_CAP", 20000, floor=256, env=env),
+            faults=env_raw("REPRO_FAULTS", env=env).strip() or None,
+            recovery=env_choice(
+                "REPRO_SHARD_RECOVERY",
+                "auto",
+                ("off", "restore", "degraded", "auto"),
+                env=env,
             ),
-            retries=_env_int(env, "REPRO_SHARD_RETRIES", 4, 1),
-            backoff=_env_float(env, "REPRO_SHARD_BACKOFF", 5.0, 0.005),
+            checkpoint_every=env_int("REPRO_SHARD_CHECKPOINT", 8, floor=1, env=env),
+            degraded_window=env_int("REPRO_SHARD_DEGRADED", 0, floor=0, env=env),
+            max_recoveries=env_int(
+                "REPRO_SHARD_MAX_RECOVERIES", 8, floor=1, env=env
+            ),
+            ctrl_timeout=env_float("REPRO_SHARD_TIMEOUT", 600.0, env=env),
+            exchange_timeout=env_float(
+                "REPRO_SHARD_EXCHANGE_TIMEOUT", 600.0, env=env
+            ),
+            retries=env_int("REPRO_SHARD_RETRIES", 4, floor=1, env=env),
+            backoff=env_float("REPRO_SHARD_BACKOFF", 5.0, floor=0.005, env=env),
         )
 
     def as_env(self) -> dict[str, str]:
@@ -223,14 +205,14 @@ class RunConfig:
             env["REPRO_FAULTS"] = self.faults
         return env
 
-    def replace(self, **changes) -> "RunConfig":
+    def replace(self, **changes: Any) -> "RunConfig":
         """A copy with *changes* applied (fields validate as usual)."""
         return dataclasses.replace(self, **changes)
 
     # ------------------------------------------------------------------ #
 
     @contextmanager
-    def apply(self):
+    def apply(self) -> Iterator["RunConfig"]:
         """Activate every gate and knob; restore all prior state on exit.
 
         The one context manager replacing the per-module stack
@@ -254,9 +236,9 @@ class RunConfig:
         )
         from repro.simulation.wire import set_wire_tier
 
-        undo: list = []
+        undo: list[tuple[Any, Any]] = []
 
-        def _set(setter, value) -> None:
+        def _set(setter: Any, value: Any) -> None:
             undo.append((setter, setter(value)))
 
         try:

@@ -60,8 +60,9 @@ cycles").
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
+
+from repro.core.gates import env_flag
 
 __all__ = [
     "array_state_enabled",
@@ -69,12 +70,7 @@ __all__ = [
     "array_state",
 ]
 
-_array_enabled = os.environ.get("REPRO_ARRAY_STATE", "1").lower() not in (
-    "0",
-    "false",
-    "no",
-    "off",
-)
+_array_enabled = env_flag("REPRO_ARRAY_STATE")
 
 
 def array_state_enabled() -> bool:

@@ -368,7 +368,7 @@ class BeepForwarder:
         if k_dislike >= 1 and rps_len >= VECTOR_MIN_PAIRS and _native() is None:
             pending = [
                 copy
-                for (copy, _via), liked in zip(fresh, liked_flags)
+                for (copy, _via), liked in zip(fresh, liked_flags, strict=True)
                 if not liked and copy.dislikes < ttl
             ]
             if (
@@ -385,7 +385,7 @@ class BeepForwarder:
                     packs = [pack_profile(c.profile) for c in pending]
                     arrays = wup_items_vs_pool(self._pool, packs)
                     scores_for = {
-                        id(c): s for c, s in zip(pending, arrays)
+                        id(c): s for c, s in zip(pending, arrays, strict=True)
                     }
 
         # pass 2: selection + shipping in arrival order (scalar semantics)
@@ -393,7 +393,7 @@ class BeepForwarder:
         f_hops: list[int] = []
         f_liked: list[bool] = []
         f_targets: list[int] = []
-        for (copy, _via), liked in zip(fresh, liked_flags):
+        for (copy, _via), liked in zip(fresh, liked_flags, strict=True):
             if not liked:
                 if copy.dislikes >= ttl:
                     continue  # line 25/29: TTL reached, drop

@@ -844,9 +844,9 @@ def score_delta(
 
 def apply_score_delta(
     base: dict[int, float],
-    set_ids,
-    set_values,
-    removed,
+    set_ids: "list[int]",
+    set_values: "list[float]",
+    removed: "list[int]",
 ) -> dict[int, float]:
     """Replay a :func:`score_delta` journal over *base* (a new dict).
 
@@ -859,7 +859,7 @@ def apply_score_delta(
     scores = dict(base)
     for k in removed:
         del scores[k]
-    for k, v in zip(set_ids, set_values):
+    for k, v in zip(set_ids, set_values, strict=True):
         scores[k] = v
     return scores
 

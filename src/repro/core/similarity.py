@@ -84,7 +84,6 @@ inside a block cannot leak a global into unrelated code.
 from __future__ import annotations
 
 import math
-import os
 from contextlib import contextmanager
 from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
 
@@ -97,6 +96,7 @@ from repro._native import (
     native_kernel_enabled,
     set_native_kernel,
 )
+from repro.core.gates import env_flag
 from repro.core.profiles import FrozenProfile, _native_descriptor, pack_id_array
 from repro.utils.exceptions import ConfigurationError
 
@@ -161,10 +161,7 @@ def _is_binary(profile: ProfileLike) -> bool:
 def _all_binary(profiles) -> bool:
     """Whether every profile in an iterable is flagged binary (fast scan)."""
     try:
-        for p in profiles:
-            if not p.is_binary:
-                return False
-        return True
+        return all(p.is_binary for p in profiles)
     except AttributeError:
         return False
 
@@ -343,12 +340,7 @@ def metric_name_of(metric: MetricFn | str) -> str | None:
 # Batch scoring kernel + version-keyed score cache
 # ---------------------------------------------------------------------------
 
-_batch_enabled = os.environ.get("REPRO_BATCH_SIM", "1").lower() not in (
-    "0",
-    "false",
-    "no",
-    "off",
-)
+_batch_enabled = env_flag("REPRO_BATCH_SIM")
 
 
 def batch_scoring_enabled() -> bool:
@@ -1073,11 +1065,11 @@ def score_candidates(
             scores = [fn(c, owner) for c in sub]
 
     if bucket is None:
-        for i, s in zip(to_score, scores):
+        for i, s in zip(to_score, scores, strict=True):
             out[i] = s
     else:
         fresh = 0
-        for i, s in zip(to_score, scores):
+        for i, s in zip(to_score, scores, strict=True):
             out[i] = s
             c = cands[i]
             if isinstance(c, FrozenProfile) and c.uid not in bucket:

@@ -44,7 +44,7 @@ def exp_ablation_window(scale: ScaleProfile, seed: int) -> ExperimentReport:
     fractions = (0.1, 0.2, 0.33, 0.5, 0.8)
     windows = [max(2, int(round(f * run_length))) for f in fractions]
     rows = []
-    for frac, window in zip(fractions, windows):
+    for frac, window in zip(fractions, windows, strict=True):
         cfg = WhatsUpConfig(f_like=10, profile_window=window)
         r = run_one("whatsup", ds, seed=seed, config=cfg)
         rows.append((f"{frac:.2f} ({window} cycles)", r.precision, r.recall, r.f1))

@@ -123,10 +123,15 @@ class DynamicsTrace:
     def _first_reaching(
         self, series: list[float], threshold: float, min_reference: float
     ) -> int | None:
-        for c, value, ref in zip(self.cycles, series, self.reference_similarity):
-            if c >= self.intervention_cycle and ref >= min_reference:
-                if value >= threshold * ref:
-                    return c - self.intervention_cycle
+        for c, value, ref in zip(
+            self.cycles, series, self.reference_similarity, strict=False
+        ):
+            if (
+                c >= self.intervention_cycle
+                and ref >= min_reference
+                and value >= threshold * ref
+            ):
+                return c - self.intervention_cycle
         return None
 
 

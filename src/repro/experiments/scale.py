@@ -13,9 +13,9 @@ Select via the ``REPRO_SCALE`` environment variable or explicitly in code.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 
+from repro.core.gates import env_raw
 from repro.datasets import digg_dataset, survey_dataset, synthetic_dataset
 from repro.datasets.base import Dataset
 from repro.utils.exceptions import ConfigurationError
@@ -155,7 +155,7 @@ def get_scale(name: str | None = None) -> ScaleProfile:
     environment variable, then ``small``.
     """
     if name is None:
-        name = os.environ.get("REPRO_SCALE", "small")
+        name = env_raw("REPRO_SCALE", "small")
     try:
         return SCALES[name.lower()]
     except KeyError:

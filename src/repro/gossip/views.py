@@ -18,6 +18,7 @@ dead peers.
 from __future__ import annotations
 
 import heapq
+from contextlib import suppress
 from operator import index as _index
 from operator import itemgetter
 from typing import Callable, Iterable, Iterator, Mapping, NamedTuple
@@ -88,10 +89,9 @@ def descriptor_wire_size(entry: "ViewEntry") -> int:
             + _PROFILE_DIGEST_HEADER_BYTES
             + (5 * len(profile) + 3) // 4
         )
-        try:
+        with suppress(AttributeError):
+            # mutable / foreign profile-likes: recompute per call
             profile.wire_cache = size
-        except AttributeError:
-            pass  # mutable / foreign profile-likes: recompute per call
     return size
 
 

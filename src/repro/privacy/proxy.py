@@ -63,10 +63,10 @@ class OnionRoutedTransport(Transport):
 
     def attempt(self, envelope: Envelope, rng: np.random.Generator) -> bool:
         # every leg must survive the underlying loss model
-        for _ in range(self.extra_hops + 1):
-            if not self.inner.attempt(envelope, rng):
-                return False
-        return True
+        return all(
+            self.inner.attempt(envelope, rng)
+            for _ in range(self.extra_hops + 1)
+        )
 
     # -- accounting helpers ----------------------------------------------------
 

@@ -38,9 +38,10 @@ path and cross-shard sends are ordered by the mailbox protocol alone.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import TYPE_CHECKING
+
+from repro.core.gates import env_flag
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.news import ItemCopy
@@ -52,12 +53,7 @@ __all__ = [
     "split_first_receipts",
 ]
 
-_delivery_enabled = os.environ.get("REPRO_BATCH_DELIVERY", "1").lower() not in (
-    "0",
-    "false",
-    "no",
-    "off",
-)
+_delivery_enabled = env_flag("REPRO_BATCH_DELIVERY")
 
 
 def delivery_batching_enabled() -> bool:

@@ -57,7 +57,7 @@ class FaultLog:
 
     def events(self) -> list[tuple[int, int, str, str]]:
         """All rows as ``(cycle, shard, kind, detail)`` tuples."""
-        return list(zip(self.cycle, self.shard, self.kind, self.detail))
+        return list(zip(self.cycle, self.shard, self.kind, self.detail, strict=True))
 
     def count(self, kind: str) -> int:
         """Number of rows with the given kind tag."""

@@ -41,8 +41,10 @@ from __future__ import annotations
 
 import json
 import os
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
 from dataclasses import dataclass, field
+
+from repro.core.gates import env_raw
 
 __all__ = [
     "FAULT_KINDS",
@@ -224,7 +226,7 @@ class FaultSchedule:
 
 
 def _env_schedule() -> FaultSchedule | None:
-    raw = os.environ.get("REPRO_FAULTS", "").strip()
+    raw = env_raw("REPRO_FAULTS").strip()
     if not raw:
         return None
     return FaultSchedule.parse(raw)
@@ -342,10 +344,8 @@ class FaultInjector:
         fatal = frozenset({"crash", "stall", "corrupt_arena"})
         for event in self._take(cycle, phase, fatal):
             if self._notify is not None:
-                try:
+                with suppress(Exception):  # parent went away
                     self._notify(event.key)
-                except Exception:  # pragma: no cover - parent went away
-                    pass
             if event.kind == "stall":
                 import time
 

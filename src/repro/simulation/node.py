@@ -10,6 +10,7 @@ the transport's loss model and account traffic.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import suppress
 from typing import TYPE_CHECKING
 
 from repro.core.news import ItemCopy, NewsItem
@@ -56,10 +57,8 @@ class BaseNode(ABC):
             for name in getattr(klass, "__slots__", ()):
                 if name == "_alive_listener" or name in state:
                     continue
-                try:
+                with suppress(AttributeError):  # unset slot
                     state[name] = getattr(self, name)
-                except AttributeError:  # pragma: no cover - unset slot
-                    pass
         return state
 
     def __setstate__(self, state: dict) -> None:

@@ -98,7 +98,7 @@ import time
 import traceback
 import warnings
 import zlib
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
 from typing import Iterable
 
 import multiprocessing
@@ -106,6 +106,7 @@ from multiprocessing.connection import wait as _conn_wait
 
 import numpy as np
 
+from repro.core.gates import env_choice, env_flag, env_float, env_int
 from repro.network.message import MessageKind, payload_wire_size
 from repro.network.stats import RecoveryStats, TrafficStats
 from repro.network.transport import PerfectTransport, Transport
@@ -137,6 +138,7 @@ __all__ = [
     "shard_wire",
     "shard_knobs",
     "set_shard_knobs",
+    "shard_knob_overrides",
     "shard_of",
     "ShardRngStreams",
     "ShardedCycleEngine",
@@ -145,27 +147,14 @@ __all__ = [
     "make_engine",
 ]
 
-_DISABLED = ("0", "false", "no", "off")
 
+_n_shards = env_int("REPRO_SHARDS", 1, floor=1)
 
-def _env_shards() -> int:
-    raw = os.environ.get("REPRO_SHARDS", "1")
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        return 1
-
-
-_n_shards = _env_shards()
-
-_shm_enabled = os.environ.get("REPRO_SHARD_SHM", "1").lower() not in _DISABLED
+_shm_enabled = env_flag("REPRO_SHARD_SHM")
 
 #: per-(source, destination) shared-memory mailbox segment size; blobs
 #: larger than a segment cross in several staged chunks
-_MAILBOX_BYTES = max(
-    64 * 1024,
-    int(os.environ.get("REPRO_SHARD_MAILBOX_BYTES", str(1 << 20))),
-)
+_MAILBOX_BYTES = env_int("REPRO_SHARD_MAILBOX_BYTES", 1 << 20, floor=64 * 1024)
 
 #: inline chunk size when shared memory is off — small enough that a
 #: stop-and-wait window of one chunk can never fill an OS pipe buffer
@@ -173,27 +162,27 @@ _MAILBOX_BYTES = max(
 _INLINE_CHUNK = 32 * 1024
 
 #: parent-side timeout waiting on a worker reply, seconds
-_CTRL_TIMEOUT = float(os.environ.get("REPRO_SHARD_TIMEOUT", "600"))
+_CTRL_TIMEOUT = env_float("REPRO_SHARD_TIMEOUT", 600.0)
 
 #: total per-barrier deadline on the worker-to-worker chunk exchange; the
 #: old protocol waited forever — this bounds a wedged barrier instead
-_EXCHANGE_TIMEOUT = float(os.environ.get("REPRO_SHARD_EXCHANGE_TIMEOUT", "600"))
+_EXCHANGE_TIMEOUT = env_float("REPRO_SHARD_EXCHANGE_TIMEOUT", 600.0)
 
 #: bounded chunk retransmissions per peer within one barrier
-_EXCHANGE_RETRIES = max(1, int(os.environ.get("REPRO_SHARD_RETRIES", "4")))
+_EXCHANGE_RETRIES = env_int("REPRO_SHARD_RETRIES", 4, floor=1)
 
 #: first retransmission/heartbeat wait, seconds; doubles per idle round
-_BACKOFF_BASE = max(0.005, float(os.environ.get("REPRO_SHARD_BACKOFF", "5.0")))
+_BACKOFF_BASE = env_float("REPRO_SHARD_BACKOFF", 5.0, floor=0.005)
 
 #: synchronized worker-state checkpoint cadence, in cycles (supervised runs)
-_CKPT_EVERY = max(1, int(os.environ.get("REPRO_SHARD_CHECKPOINT", "8")))
+_CKPT_EVERY = env_int("REPRO_SHARD_CHECKPOINT", 8, floor=1)
 
 #: degraded-mode offline window after a recovery, cycles (0 = one
 #: checkpoint interval)
-_DEGRADED_FOR = max(0, int(os.environ.get("REPRO_SHARD_DEGRADED", "0")))
+_DEGRADED_FOR = env_int("REPRO_SHARD_DEGRADED", 0, floor=0)
 
 #: rollback-replay attempts before a supervised run gives up
-_MAX_RECOVERIES = max(1, int(os.environ.get("REPRO_SHARD_MAX_RECOVERIES", "8")))
+_MAX_RECOVERIES = env_int("REPRO_SHARD_MAX_RECOVERIES", 8, floor=1)
 
 _ARENA_ALIGN = 64
 
@@ -201,8 +190,7 @@ _RECOVERY_MODES = ("off", "restore", "degraded", "auto")
 
 
 def _env_recovery() -> str:
-    raw = os.environ.get("REPRO_SHARD_RECOVERY", "auto").strip().lower()
-    return raw if raw in _RECOVERY_MODES else "auto"
+    return env_choice("REPRO_SHARD_RECOVERY", "auto", _RECOVERY_MODES)
 
 
 #: supervision/recovery policy override; ``None`` defers to the
@@ -210,7 +198,7 @@ def _env_recovery() -> str:
 _RECOVERY_MODE: str | None = None
 
 #: pin each worker to one CPU on multi-core hosts (sharded engines only)
-_PIN_CPUS = os.environ.get("REPRO_SHARD_PIN_CPUS", "0").lower() not in _DISABLED
+_PIN_CPUS = env_flag("REPRO_SHARD_PIN_CPUS", default=False)
 
 
 class _PeerFailure(Exception):
@@ -351,7 +339,7 @@ def _loads(blob: bytes) -> object:
 #: distinct snapshots, both ends reset it (their tables grow in lock-step
 #: — one entry per first-crossing uid — so the same size rule fires at
 #: the same cycle on both sides)
-_INTERN_CAP = max(256, int(os.environ.get("REPRO_SHARD_INTERN_CAP", "20000")))
+_INTERN_CAP = env_int("REPRO_SHARD_INTERN_CAP", 20000, floor=256)
 
 
 # --------------------------------------------------------------------------- #
@@ -420,6 +408,22 @@ def set_shard_knobs(**knobs) -> dict:
         previous[name] = g[attr]
         g[attr] = norm(value) if norm is not None else value
     return previous
+
+
+@contextmanager
+def shard_knob_overrides(**knobs):
+    """Context manager pinning sharding knobs, restoring them on exit.
+
+    The restore-guarded twin of :func:`set_shard_knobs` (lint rule RL003):
+    tests and benchmarks that tighten a timeout or shrink a mailbox inside
+    a block cannot leak the override into unrelated code, even when the
+    guarded block raises.
+    """
+    previous = set_shard_knobs(**knobs)
+    try:
+        yield
+    finally:
+        set_shard_knobs(**previous)
 
 
 def _stats_parts(stats: TrafficStats) -> dict:
@@ -1125,10 +1129,8 @@ class _ShardWorker:
         def notify(key):
             # out-of-band: the parent learns a fatal fault fired even when
             # the fault kills this process before any reply is sent
-            try:
+            with suppress(BrokenPipeError, OSError):
                 ctrl.send(("fired", key))
-            except (BrokenPipeError, OSError):  # pragma: no cover
-                pass
 
         self.injector = FaultInjector(
             schedule,
@@ -1386,10 +1388,8 @@ class _ShardWorker:
             self.links.out_segs = {}
             self.links.in_segs = {}
         for seg in self._segs:
-            try:
+            with suppress(Exception):  # platform close quirks
                 seg.close()
-            except Exception:  # pragma: no cover - platform close quirks
-                pass
         self._segs = []
 
     # -- the loop ----------------------------------------------------------- #
@@ -1488,10 +1488,8 @@ def _worker_main(
     # dead sibling's pipes never reach EOF (the surviving holders keep
     # them open) and prompt crash detection is impossible.
     for conn in close_conns:
-        try:
+        with suppress(OSError):  # already closed
             conn.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
     _ShardWorker(shard, n_shards, ctrl, peer_conns).serve()
 
 
@@ -1618,12 +1616,10 @@ class ShardedCycleEngine:
             # share the parent's tracker and their attach-side registrations
             # collapse into the parent's single entry per segment (no
             # spurious "leaked shared_memory" warnings at worker exit)
-            try:
+            with suppress(Exception):  # tracker internals moved
                 from multiprocessing import resource_tracker
 
                 resource_tracker.ensure_running()
-            except Exception:  # pragma: no cover - tracker internals moved
-                pass
         # create every pipe before any fork, so each worker can be handed
         # the complete list of ends that are NOT its own and close them —
         # a fork-started child inherits all of them otherwise, keeping a
@@ -2141,10 +2137,8 @@ class ShardedCycleEngine:
     def _teardown_workers(self) -> None:
         """Stop (escalating to kill) every worker and release all shm."""
         for conn in self._ctrl:
-            try:
+            with suppress(BrokenPipeError, OSError):
                 conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
         for proc in self._procs:
             proc.join(timeout=1)
             if proc.is_alive():
@@ -2154,10 +2148,8 @@ class ShardedCycleEngine:
                 proc.kill()
                 proc.join(timeout=5)
         for conn in self._ctrl:
-            try:
+            with suppress(OSError):
                 conn.close()
-            except OSError:  # pragma: no cover
-                pass
         self._ctrl = []
         self._procs = []
         self._arenas = {}
@@ -2359,14 +2351,10 @@ class ShardedCycleEngine:
         # buffer export, platform quirk) must never leave the segment
         # registered — the unlink is what prevents a leak
         for seg in self._own_segs:
-            try:
+            with suppress(Exception):  # live export / double close
                 seg.close()
-            except Exception:  # pragma: no cover - live export / double close
-                pass
-            try:
+            with suppress(Exception):  # already unlinked
                 seg.unlink()
-            except Exception:  # pragma: no cover - already unlinked
-                pass
         self._own_segs = []
 
     def close(self) -> None:
@@ -2389,10 +2377,8 @@ class ShardedCycleEngine:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC ordering dependent
-        try:
+        with suppress(Exception):
             self.close()
-        except Exception:
-            pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -77,15 +77,19 @@ would be far worse.
 from __future__ import annotations
 
 import io
-import os
 import pickle
 import struct
 import zlib
 from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
 
+from repro.core.gates import env_choice
 from repro.network.stats import WireStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.core.profiles import FrozenProfile
 
 __all__ = [
     "WIRE_TIERS",
@@ -102,15 +106,22 @@ WIRE_FORMAT_VERSION = 1
 
 WIRE_TIERS = ("pickle", "columns", "delta")
 
-_DISABLED = ("0", "false", "no", "off")
+#: codec treatment of every NamedTuple that can cross a shard mailbox.
+#: A new wire-visible NamedTuple must be added here with a conscious
+#: decision (lint rule RL007 enforces it): ``columns`` rides the typed
+#: int64 fast path below, ``overflow`` crosses in the value-driven
+#: pickled overflow sections, and ``embedded`` never travels standalone
+#: (it is reconstructed from another message's payload).
+WIRE_MESSAGE_REGISTRY: dict[str, str] = {
+    "RpsMessage": "columns",
+    "ClusteringMessage": "columns",
+    "ViewEntry": "columns",
+    "Envelope": "overflow",
+    "ProfileEntry": "embedded",
+}
 
 
-def _env_tier() -> str:
-    raw = os.environ.get("REPRO_SHARD_WIRE", "delta").strip().lower()
-    return raw if raw in WIRE_TIERS else "delta"
-
-
-_wire_tier = _env_tier()
+_wire_tier = env_choice("REPRO_SHARD_WIRE", "delta", WIRE_TIERS)
 
 
 def wire_tier() -> str:
@@ -136,7 +147,7 @@ def set_wire_tier(tier: str) -> str:
 
 
 @contextmanager
-def shard_wire(tier: str):
+def shard_wire(tier: str) -> Iterator[None]:
     """Context manager pinning the wire tier, restoring on exit."""
     previous = set_wire_tier(tier)
     try:
@@ -167,7 +178,7 @@ def _dumps_interned(obj: object, sent: set) -> bytes:
     buf = io.BytesIO()
     pickler = pickle.Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL)
 
-    def persistent_id(o):
+    def persistent_id(o: object) -> tuple[Any, ...] | None:
         klass = type(o)
         if klass is FrozenProfile:
             uid = o.uid
@@ -206,7 +217,7 @@ def _loads_interned(blob: bytes, registry: dict) -> object:
 
     unpickler = pickle.Unpickler(io.BytesIO(blob))
 
-    def persistent_load(pid):
+    def persistent_load(pid: tuple[Any, ...]) -> Any:
         tag = pid[0]
         if tag == 1 or tag == 3:
             return registry[pid[1]]
@@ -307,7 +318,7 @@ def _node_address(nid: int, cache: dict) -> str:
     return addr
 
 
-def _full_columns(scores: dict):
+def _full_columns(scores: dict) -> tuple[np.ndarray, np.ndarray] | None:
     """Pack a score dict as (uint64 ids, float64 values) in dict order.
 
     Returns ``None`` when a key cannot round-trip through ``uint64``
@@ -327,7 +338,9 @@ def _full_columns(scores: dict):
     return ids, vals
 
 
-def _delta_columns(base: dict, new: dict):
+def _delta_columns(
+    base: dict, new: dict
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
     """Columnarised :func:`repro.core.profiles.score_delta`, or ``None``.
 
     ``None`` when the diff is not worth shipping or a touched key cannot
@@ -355,7 +368,14 @@ def _delta_columns(base: dict, new: dict):
     return ids, vals, rem
 
 
-def _rebuild_profile(scores, norm, is_binary, uid, version, wire_cache):
+def _rebuild_profile(
+    scores: dict[int, float],
+    norm: float,
+    is_binary: bool,
+    uid: int,
+    version: int,
+    wire_cache: int | None,
+) -> FrozenProfile:
     from repro.core.profiles import FrozenProfile
 
     profile = FrozenProfile.__new__(FrozenProfile)
@@ -635,7 +655,7 @@ class LinkEncoder:
                 if base is None or base.version <= prof.version:
                     bases[nid] = prof
 
-        def _cat(parts, dtype):
+        def _cat(parts: list[np.ndarray], dtype: np.dtype) -> bytes:
             if not parts:
                 return b""
             if len(parts) == 1:
@@ -835,6 +855,7 @@ class LinkDecoder:
                             zip(
                                 full_ids[f_off : f_off + n_sc].tolist(),
                                 full_scores[f_off : f_off + n_sc].tolist(),
+                                strict=True,
                             )
                         )
                         f_off += n_sc

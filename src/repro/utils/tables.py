@@ -58,7 +58,8 @@ def format_table(
             widths[i] = max(widths[i], len(cell))
 
     def fmt_row(cells: Sequence[str]) -> str:
-        return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        cols = zip(cells, widths, strict=False)
+        return " | ".join(c.ljust(w) for c, w in cols).rstrip()
 
     lines: list[str] = []
     if title:

@@ -1,0 +1,15 @@
+# repro-lint-fixture: treat-as-src
+"""Seeded RL000 violations: suppressions without a usable reason.
+
+The ``seed-next`` markers sit on the line *above* each violation because
+anything trailing ``disable=`` would be parsed as part of the
+suppression clause itself.
+"""
+
+# seed-next:RL000
+value = 1  # repro-lint: disable=RL001()
+# seed-next:RL000
+other = 2  # repro-lint: disable=RL006
+# seed-next:RL000
+mystery = 3  # repro-lint: disable=garbage
+fine = 4  # repro-lint: disable=RL006(fixture: reasoned suppression parses clean)

@@ -1,0 +1,34 @@
+# repro-lint-fixture: treat-as-src
+"""Seeded RL001 violations: ambient RNG and wall-clock reads."""
+
+import time
+
+import random  # seed:RL001
+from random import choice  # seed:RL001
+
+import numpy as np
+from numpy.random import rand  # seed:RL001
+from numpy.random import default_rng  # allowed: constructor, not a draw
+
+
+def bad_clock() -> float:
+    return time.time()  # seed:RL001
+
+
+def bad_monotonic() -> float:
+    return time.monotonic()  # seed:RL001
+
+
+def suppressed_monotonic() -> float:
+    return time.monotonic()  # repro-lint: disable=RL001(fixture: reasoned wall-clock exception)
+
+
+def bad_numpy_draw():
+    np.random.shuffle([1, 2, 3])  # seed:RL001
+    return np.random.random()  # seed:RL001
+
+
+def good_rng():
+    generator = default_rng(42)
+    _ = (random, choice, rand)
+    return generator.random()

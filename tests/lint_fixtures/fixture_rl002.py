@@ -1,0 +1,17 @@
+# repro-lint-fixture: treat-as-src
+"""Seeded RL002 violations: stray REPRO_* environment reads."""
+
+import os
+
+
+def stray_reads() -> list:
+    a = os.environ.get("REPRO_FIXTURE_A", "1")  # seed:RL002
+    b = os.getenv("REPRO_FIXTURE_B")  # seed:RL002
+    c = os.environ["REPRO_FIXTURE_C"]  # seed:RL002
+    d = "REPRO_FIXTURE_D" in os.environ  # seed:RL002
+    return [a, b, c, d]
+
+
+def fine_reads(env: dict) -> list:
+    # non-REPRO keys and parameterized mappings are not gate reads
+    return [os.environ.get("HOME"), env.get("REPRO_FIXTURE_E")]

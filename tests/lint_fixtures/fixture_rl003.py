@@ -1,0 +1,30 @@
+# repro-lint-fixture: treat-as-src
+"""Seeded RL003 violation: a gate setter without a restoring twin."""
+
+from contextlib import contextmanager
+
+_naked_gate = True
+_guarded_gate = True
+
+
+def set_naked_gate(enabled: bool) -> bool:  # seed:RL003
+    global _naked_gate
+    previous = _naked_gate
+    _naked_gate = bool(enabled)
+    return previous
+
+
+def set_guarded_gate(enabled: bool) -> bool:
+    global _guarded_gate
+    previous = _guarded_gate
+    _guarded_gate = bool(enabled)
+    return previous
+
+
+@contextmanager
+def guarded_gate(enabled: bool):
+    previous = set_guarded_gate(enabled)
+    try:
+        yield
+    finally:
+        set_guarded_gate(previous)

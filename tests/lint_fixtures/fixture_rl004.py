@@ -1,0 +1,39 @@
+# seed:RL004 (the registry also declares a Ghost class this file lacks)
+"""Seeded RL004 violations: shard-crossing classes vs pickle pairs."""
+
+
+class Missing:  # seed:RL004
+    """Registry-declared, but no __getstate__/__setstate__ pair at all."""
+
+    def __init__(self) -> None:
+        self._nd = None
+
+
+class Partial:
+    """Has the pair, but never addresses the declared ``_nd`` cache."""
+
+    def __init__(self) -> None:
+        self.payload = 1
+
+    def __getstate__(self) -> dict:  # seed:RL004
+        return {"payload": self.payload}
+
+    def __setstate__(self, state: dict) -> None:
+        self.payload = state["payload"]
+
+
+class Good:
+    """Drops the registered process-local cache across the boundary."""
+
+    def __init__(self) -> None:
+        self.payload = 1
+        self._nd = object()
+
+    def __getstate__(self) -> dict:
+        state = {"payload": self.payload}
+        state["_nd"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.payload = state["payload"]
+        self._nd = None

@@ -1,0 +1,18 @@
+# repro-lint-fixture: treat-as-src
+"""Seeded RL005 violations: from_buffer marshaling inside loops."""
+
+
+def bad_loop_marshal(ffi, arrays):
+    views = []
+    for arr in arrays:
+        views.append(ffi.from_buffer("int64_t[]", arr))  # seed:RL005
+    return views
+
+
+def bad_comprehension(ffi, arrays):
+    return [ffi.from_buffer("double[]", arr) for arr in arrays]  # seed:RL005
+
+
+def good_single(ffi, arr):
+    # one marshaling per call, outside any loop, is the sanctioned form
+    return ffi.from_buffer("int64_t[]", arr)

@@ -1,0 +1,26 @@
+# repro-lint-fixture: treat-as-src
+"""Seeded RL006 violations: set order feeding ordering-sensitive sinks."""
+
+
+def bad_sinks(xs, ys):
+    a = list(set(xs))  # seed:RL006
+    b = tuple({x + 1 for x in xs})  # seed:RL006
+    c = list(set(xs) | set(ys))  # seed:RL006
+    d = list(enumerate(frozenset(ys)))  # seed:RL006
+    return a, b, c, d
+
+
+def bad_iteration(xs):
+    total = []
+    for x in {1, 2, 3}:  # seed:RL006
+        total.append(x)
+    for y in set(xs):  # seed:RL006
+        total.append(y)
+    return total
+
+
+def good_consumers(xs, ys):
+    # an explicit sort makes the order value-determined, not hash-determined
+    ordered = sorted(set(xs), key=int)
+    membership = 3 in set(ys)
+    return ordered, membership

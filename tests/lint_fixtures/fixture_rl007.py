@@ -1,0 +1,23 @@
+"""Fixture message module: NamedTuple wire messages, one unregistered."""
+
+from typing import NamedTuple
+
+
+class KnownMessage(NamedTuple):
+    """Registered in the fixture wire registry."""
+
+    node: int
+    payload: bytes
+
+
+class UnregisteredMessage(NamedTuple):  # seed:RL007
+    """Missing from the fixture wire registry."""
+
+    node: int
+    extra: float
+
+
+class NotAMessage:
+    """Plain classes are outside RL007's scope."""
+
+    pass

@@ -1,0 +1,6 @@
+"""Fixture wire module: codec registry with one stale entry."""
+
+WIRE_MESSAGE_REGISTRY: dict[str, str] = {  # seed:RL007
+    "KnownMessage": "columns",
+    "GhostMessage": "overflow",
+}

@@ -170,10 +170,9 @@ class TestApply:
     def test_apply_restores_on_exception(self):
         before = (shard_count(), wire_tier())
         cfg = RunConfig(shards=2, wire_tier="columns")
-        with pytest.raises(RuntimeError, match="boom"):
-            with cfg.apply():
-                assert shard_count() == 2
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError, match="boom"), cfg.apply():
+            assert shard_count() == 2
+            raise RuntimeError("boom")
         assert (shard_count(), wire_tier()) == before
 
     def test_apply_nests(self):

@@ -73,10 +73,9 @@ class TestGate:
 
     def test_context_manager_restores_on_error(self):
         before = array_state_enabled()
-        with pytest.raises(RuntimeError):
-            with array_state(not before):
-                assert array_state_enabled() is (not before)
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), array_state(not before):
+            assert array_state_enabled() is (not before)
+            raise RuntimeError("boom")
         assert array_state_enabled() is before
 
     def test_factory_honours_gate(self):

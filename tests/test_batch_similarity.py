@@ -66,14 +66,14 @@ class TestScoreCandidatesEquivalence:
     def test_binary_pools_match_scalar(self, metric, role):
         rng = np.random.default_rng(101)
         fn = get_metric(metric)
-        for trial in range(8):
+        for _trial in range(8):
             owner = random_binary_frozen(rng, n_items=int(rng.integers(1, 60)))
             pool = [
                 random_binary_frozen(rng, n_items=int(rng.integers(0, 60)))
                 for _ in range(12)
             ]
             got = score_candidates(owner, pool, metric, owner_role=role)
-            for c, s in zip(pool, got):
+            for c, s in zip(pool, got, strict=True):
                 want = fn(owner, c) if role == "n" else fn(c, owner)
                 assert s == pytest.approx(want, abs=1e-12)
                 assert s == want  # bitwise, by construction
@@ -83,14 +83,14 @@ class TestScoreCandidatesEquivalence:
     def test_real_valued_pools_match_scalar(self, metric, role):
         rng = np.random.default_rng(202)
         fn = get_metric(metric)
-        for trial in range(6):
+        for _trial in range(6):
             owner = random_real_frozen(rng, n_items=int(rng.integers(1, 80)))
             pool = [
                 random_real_frozen(rng, n_items=int(rng.integers(0, 80)))
                 for _ in range(8)
             ] + [random_binary_frozen(rng) for _ in range(4)]
             got = score_candidates(owner, pool, metric, owner_role=role)
-            for c, s in zip(pool, got):
+            for c, s in zip(pool, got, strict=True):
                 want = fn(owner, c) if role == "n" else fn(c, owner)
                 assert s == pytest.approx(want, abs=1e-12)
 
@@ -313,7 +313,7 @@ class TestTrimRankedScores:
         rng = np.random.default_rng(9)
         entries = self.entries()
         aligned = [float(rng.choice([0.0, 0.25, 0.5])) for _ in entries]
-        mapping = {e.node_id: s for e, s in zip(entries, aligned)}
+        mapping = {e.node_id: s for e, s in zip(entries, aligned, strict=True)}
         v_map, v_aligned = View(4, owner_id=0), View(4, owner_id=0)
         v_map.upsert_all(entries)
         v_aligned.upsert_all(entries)
@@ -387,11 +387,10 @@ class TestEndToEndEquivalence:
 
         batch_before = batch_scoring_enabled()
         native_before = native_kernel_enabled()
-        with pytest.raises(RuntimeError):
-            with scoring_disabled():
-                assert not batch_scoring_enabled()
-                assert not native_kernel_enabled()
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), scoring_disabled():
+            assert not batch_scoring_enabled()
+            assert not native_kernel_enabled()
+            raise RuntimeError("boom")
         # restored even though the guarded block raised
         assert batch_scoring_enabled() == batch_before
         assert native_kernel_enabled() == native_before

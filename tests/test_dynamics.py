@@ -93,7 +93,7 @@ class TestConvergenceCriteria:
         tr.joining_similarity = [0.0] * 12 + [0.45] * 8
         # changing node: high, dips, recovers
         tr.changing_similarity = (
-            [0.5] * 10 + [0.4, 0.2, 0.1, 0.1, 0.2, 0.3, 0.41, 0.45, 0.45, 0.45]
+            [*([0.5] * 10), 0.4, 0.2, 0.1, 0.1, 0.2, 0.3, 0.41, 0.45, 0.45, 0.45]
         )
         return tr
 
@@ -137,7 +137,7 @@ class TestEndToEndDynamics:
         # the joiner's view similarity becomes positive after joining
         post = [
             s
-            for c, s in zip(trace.cycles, trace.joining_similarity)
+            for c, s in zip(trace.cycles, trace.joining_similarity, strict=True)
             if c > 35
         ]
         assert max(post) > 0.0

@@ -90,7 +90,7 @@ class TestEngineBasics:
         eng = CycleEngine(nodes, one_item_schedule(), streams=RngStreams(1))
         eng.run(5)
         arr = eng.log.arrays()
-        by_node = dict(zip(arr["d_node"].tolist(), arr["d_hops"].tolist()))
+        by_node = dict(zip(arr["d_node"].tolist(), arr["d_hops"].tolist(), strict=True))
         assert by_node == {0: 0, 1: 1, 2: 2, 3: 3}
 
     def test_duplicates_suppressed_and_counted(self):

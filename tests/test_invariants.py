@@ -36,7 +36,7 @@ def finished_system(request, workload):
 class TestDeliveryInvariants:
     def test_at_most_one_delivery_per_user_item(self, finished_system):
         arr = finished_system.log.arrays()
-        pairs = set(zip(arr["d_node"].tolist(), arr["d_item"].tolist()))
+        pairs = set(zip(arr["d_node"].tolist(), arr["d_item"].tolist(), strict=True))
         assert len(pairs) == finished_system.log.n_deliveries
 
     def test_publisher_counted_at_hop_zero(self, finished_system, workload):

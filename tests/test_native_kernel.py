@@ -58,7 +58,7 @@ def binary_pool(seed: int = 0, k: int = 12) -> list[FrozenProfile]:
     """A varied binary pool: overlapping, disjoint, empty, dislike-heavy."""
     rng = np.random.default_rng(seed)
     pool = []
-    for j in range(k):
+    for _j in range(k):
         profile = UserProfile()
         for iid in rng.integers(0, 40, size=int(rng.integers(0, 12))):
             profile.record_opinion(int(iid), 0, bool(rng.integers(0, 2)))
@@ -162,7 +162,7 @@ class TestMergeRankParity:
     def entries(profiles, timestamps):
         return [
             ViewEntry(100 + i, "a", p, ts)
-            for i, (p, ts) in enumerate(zip(profiles, timestamps))
+            for i, (p, ts) in enumerate(zip(profiles, timestamps, strict=True))
         ]
 
     @needs_native
@@ -262,9 +262,8 @@ class TestDispatchIntegration:
 
     def test_context_manager_restores_on_error(self):
         before = native_kernel_enabled()
-        with pytest.raises(RuntimeError):
-            with native_kernel(not before):
-                raise RuntimeError("boom")
+        with pytest.raises(RuntimeError), native_kernel(not before):
+            raise RuntimeError("boom")
         assert native_kernel_enabled() == before
 
     def test_kernel_none_when_gate_off(self):
@@ -340,8 +339,10 @@ class TestStatePlaneKernels:
             for nid, ts in zip(
                 rng.choice(45, size=14, replace=True),
                 rng.integers(0, 20, size=14),
+                strict=True,
             )
-        ] + [ViewEntry(99, "o", FrozenProfile({}, is_binary=True), 50)]
+        ]
+        inc.append(ViewEntry(99, "o", FrozenProfile({}, is_binary=True), 50))
         cols_arr = np.empty((3, len(inc)), dtype=np.int64)
         cols_arr[0] = [e.node_id for e in inc]
         cols_arr[1] = [e.timestamp for e in inc]

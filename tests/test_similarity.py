@@ -76,9 +76,9 @@ class TestWupSimilarity:
         # candidate) than an established node with the same 3 items buried
         # in a big profile — the §II-D cold-start argument.
         popular = [100, 101, 102]
-        chooser = make_user_profile(popular + [5, 6])
+        chooser = make_user_profile([*popular, 5, 6])
         newbie = make_user_profile(popular)
-        veteran = make_user_profile(popular + list(range(20, 40)))
+        veteran = make_user_profile([*popular, *range(20, 40)])
         assert wup_similarity(chooser, newbie) > wup_similarity(chooser, veteran)
 
     def test_item_profile_candidate_general_path(self):

@@ -65,7 +65,7 @@ def assert_profiles_equal(a: FrozenProfile, b: FrozenProfile) -> None:
     assert list(a.scores.items()) == list(b.scores.items())
     assert all(
         np.float64(x).tobytes() == np.float64(y).tobytes()
-        for x, y in zip(a.scores.values(), b.scores.values())
+        for x, y in zip(a.scores.values(), b.scores.values(), strict=True)
     )
     assert np.float64(a.norm).tobytes() == np.float64(b.norm).tobytes()
     assert (a.uid, a.version, a.is_binary) == (b.uid, b.version, b.is_binary)
@@ -76,7 +76,7 @@ def assert_messages_equal(a, b) -> None:
     assert type(a) is type(b)
     assert (a.sender, a.is_request, a.wire) == (b.sender, b.is_request, b.wire)
     assert len(a.entries) == len(b.entries)
-    for ea, eb in zip(a.entries, b.entries):
+    for ea, eb in zip(a.entries, b.entries, strict=True):
         assert (ea[0], ea[1], ea[3]) == (eb[0], eb[1], eb[3])
         assert_profiles_equal(ea[2], eb[2])
     if a.cols is None:
@@ -122,7 +122,7 @@ def test_gossip_roundtrip_all_message_shapes(tier):
     ]
     out = dec.decode(enc.encode(rows, "gossip"))
     assert len(out) == len(rows)
-    for (a, b, kind, msg), (da, db, dkind, dmsg) in zip(rows, out):
+    for (a, b, kind, msg), (da, db, dkind, dmsg) in zip(rows, out, strict=True):
         assert (a, b, kind) == (da, db, dkind)
         assert_messages_equal(msg, dmsg)
     assert enc.stats.rows == 3 and enc.stats.entries == 3
@@ -281,7 +281,7 @@ def test_columnar_frames_deflate_when_it_wins():
     # the raw column tables alone outweigh the whole compressed frame
     assert enc.stats.column_bytes > len(blob) == enc.stats.frame_bytes
     out = dec.decode(blob)
-    for (a, b, kind, msg), (da, db, dkind, dmsg) in zip(rows, out):
+    for (a, b, kind, msg), (da, db, dkind, dmsg) in zip(rows, out, strict=True):
         assert (a, b, kind) == (da, db, dkind)
         assert_messages_equal(msg, dmsg)
 

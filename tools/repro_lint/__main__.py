@@ -1,0 +1,8 @@
+"""``python -m tools.repro_lint`` — run the invariant lint pack."""
+
+import sys
+
+from tools.repro_lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())
